@@ -1,0 +1,57 @@
+// Benchmarks of the cross-domain evaluation and the DBLP preprocessing.
+package distinct_test
+
+import (
+	"strings"
+	"testing"
+
+	"distinct/internal/dblpxml"
+	"distinct/internal/experiments"
+	"distinct/internal/music"
+)
+
+// BenchmarkMusicCrossDomain runs the full self-supervised pipeline on the
+// music catalog (the paper's AllMusic motivation): generate, train on rare
+// titles, tune min-sim label-free, evaluate the shared titles.
+func BenchmarkMusicCrossDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MusicEvaluation(music.DefaultConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Average.F1, "f-measure")
+	}
+}
+
+// BenchmarkPrune measures the paper's preprocessing (dropping low-degree
+// authors with cascading orphan removal) on a synthetic XML load.
+func BenchmarkPrune(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<dblp>\n")
+	for i := 0; i < 3000; i++ {
+		sb.WriteString("<inproceedings key=\"conf/x/p")
+		sb.WriteString(itoa(i))
+		sb.WriteString("\"><author>Common ")
+		sb.WriteString(itoa(i % 200))
+		sb.WriteString("</author><author>Rare ")
+		sb.WriteString(itoa(i)) // one-paper author on every record
+		sb.WriteString("</author><title>T.</title><booktitle>V")
+		sb.WriteString(itoa(i % 11))
+		sb.WriteString("</booktitle><year>2000</year></inproceedings>\n")
+	}
+	sb.WriteString("</dblp>\n")
+	db, _, err := dblpxml.Load(strings.NewReader(sb.String()), dblpxml.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := dblpxml.Prune(db, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.AuthorsDropped == 0 {
+			b.Fatal("nothing pruned")
+		}
+	}
+}

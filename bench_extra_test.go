@@ -1,0 +1,225 @@
+// Benchmarks of the library features beyond the paper: parallel feature
+// extraction, whole-database batch disambiguation, min-sim auto-tuning,
+// merge profiling, and the DBLP XML loader.
+package distinct_test
+
+import (
+	"strings"
+	"testing"
+
+	"distinct/internal/cluster"
+	"distinct/internal/core"
+	"distinct/internal/dblp"
+	"distinct/internal/dblpxml"
+	"distinct/internal/trainset"
+)
+
+// trainedBenchEngine builds and trains an engine on the shared benchmark
+// world with the given worker count.
+func trainedBenchEngine(b *testing.B, workers int) *core.Engine {
+	b.Helper()
+	w := benchWorld(b)
+	e, err := core.NewEngine(w.DB, core.Config{
+		RefRelation: dblp.ReferenceRelation,
+		RefAttr:     dblp.ReferenceAttr,
+		SkipExpand:  []string{dblp.TitleAttr},
+		Supervised:  true,
+		Workers:     workers,
+		Train: trainset.Options{
+			NumPositive: 500, NumNegative: 500,
+			Exclude: w.AmbiguousNames(),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkFeatureExtractionWorkers measures the parallel speedup of the
+// dominant pipeline stage (per-path similarity matrices for the 143-ref
+// name). The speedup tracks the machine's core count; on a single-core
+// host the variants only differ by goroutine overhead.
+func BenchmarkFeatureExtractionWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "w1", 4: "w4"}[workers], func(b *testing.B) {
+			w := benchWorld(b)
+			e, err := core.NewEngine(w.DB, core.Config{
+				RefRelation: dblp.ReferenceRelation,
+				RefAttr:     dblp.ReferenceAttr,
+				SkipExpand:  []string{dblp.TitleAttr},
+				Workers:     workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			refs := e.RefsForName("Wei Wang")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.PathSimilarities(refs)
+			}
+		})
+	}
+}
+
+// BenchmarkDisambiguateAll sweeps every name with 20+ references on a
+// mid-sized world. (On the full benchmark world the sweep costs tens of
+// seconds per op — common names like "James Smith" carry ~1000 references
+// and the pairwise stage is quadratic — so this bench scales the world
+// down instead of cutting coverage.)
+func BenchmarkDisambiguateAll(b *testing.B) {
+	cfg := dblp.DefaultConfig()
+	cfg.Communities = 6
+	cfg.AuthorsPerCommunity = 50
+	w, err := dblp.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewEngine(w.DB, core.Config{
+		RefRelation: dblp.ReferenceRelation,
+		RefAttr:     dblp.ReferenceAttr,
+		SkipExpand:  []string{dblp.TitleAttr},
+		Supervised:  true,
+		Train: trainset.Options{
+			NumPositive: 300, NumNegative: 300,
+			Exclude: w.AmbiguousNames(),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.DisambiguateAll(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.NamesExamined), "names")
+		b.ReportMetric(float64(len(res.Split)), "split")
+	}
+}
+
+// BenchmarkBlocking compares clustering one heavily shared natural name
+// with and without shared-neighbor blocking (results are identical; the
+// blocked path skips the cross-component pairwise work).
+func BenchmarkBlocking(b *testing.B) {
+	e := trainedBenchEngine(b, 0)
+	// A heavily shared natural name of moderate size (~300 references);
+	// the very largest names form one connected component and take tens of
+	// seconds per clustering, which would dominate the default bench run.
+	nameRel := e.DB().Relation("Authors")
+	bestName, bestDist := "", 1<<30
+	for _, id := range nameRel.TupleIDs() {
+		name := e.DB().Tuple(id).Val("author")
+		n := len(e.RefsForName(name))
+		d := n - 300
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestName, bestDist = name, d
+		}
+	}
+	refs := e.RefsForName(bestName)
+	b.Logf("name %q with %d references", bestName, len(refs))
+	e.Similarities(refs) // warm the neighborhood cache for both variants
+
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.SetMinSim(core.DefaultMinSim)
+			if got := e.DisambiguateRefs(refs); len(got) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := e.Similarities(refs)
+			if got := core.ClusterMatrix(refs, m, cluster.Combined, core.DefaultMinSim); len(got) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+}
+
+// BenchmarkTuneMinSim measures label-free threshold tuning.
+func BenchmarkTuneMinSim(b *testing.B) {
+	e := trainedBenchEngine(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.TuneMinSim(nil, 20, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.F1, "tuned-f")
+	}
+}
+
+// BenchmarkMergeProfile measures the full dendrogram trace of the hardest
+// name.
+func BenchmarkMergeProfile(b *testing.B) {
+	e := trainedBenchEngine(b, 0)
+	refs := e.RefsForName("Wei Wang")
+	e.Similarities(refs) // warm neighborhood cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := e.MergeProfile(refs); len(got) != len(refs)-1 {
+			b.Fatalf("profile %d steps", len(got))
+		}
+	}
+}
+
+// BenchmarkDBLPXMLLoad measures the streaming XML loader on a synthetic
+// 2000-record document.
+func BenchmarkDBLPXMLLoad(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n<dblp>\n")
+	for i := 0; i < 2000; i++ {
+		key := string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		sb.WriteString("<inproceedings key=\"conf/x/")
+		sb.WriteString(key)
+		sb.WriteString(itoa(i))
+		sb.WriteString("\"><author>Alice ")
+		sb.WriteString(key)
+		sb.WriteString("</author><author>Bob ")
+		sb.WriteString(itoa(i % 97))
+		sb.WriteString("</author><title>T.</title><booktitle>V")
+		sb.WriteString(itoa(i % 13))
+		sb.WriteString("</booktitle><year>")
+		sb.WriteString(itoa(1990 + i%15))
+		sb.WriteString("</year></inproceedings>\n")
+	}
+	sb.WriteString("</dblp>\n")
+	doc := sb.String()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := dblpxml.Load(strings.NewReader(doc), dblpxml.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Records != 2000 {
+			b.Fatalf("records = %d", stats.Records)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,261 @@
+// Command distinct disambiguates the references to one name in a saved
+// world (see cmd/dblpgen): it trains DISTINCT's join-path weights on
+// automatically constructed examples, clusters the name's references, and
+// prints the groups with their papers — scored against the ground truth
+// when the name is one of the world's injected ambiguous names.
+//
+// Usage:
+//
+//	distinct -world world.json -name "Wei Wang" [-minsim X] [-unsupervised]
+//	         [-dblpxml dblp.xml]   load a real DBLP XML export instead
+//	         [-measure combined|resemblance|walk] [-weights]
+//	         [-batch N]            disambiguate every name with >= N refs
+//	         [-tune]               auto-tune min-sim on rare-name pairs
+//	         [-savemodel model.json] [-loadmodel model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distinct"
+	"distinct/internal/dataio"
+	"distinct/internal/dblp"
+	"distinct/internal/dblpxml"
+	"distinct/internal/linkage"
+)
+
+func main() {
+	var (
+		worldPath    = flag.String("world", "world.json", "world file written by dblpgen")
+		xmlPath      = flag.String("dblpxml", "", "load a DBLP XML export instead of a world file (no ground truth)")
+		prune        = flag.Int("prune", 3, "with -dblpxml: drop authors with fewer references (paper: authors with <=2 papers removed); 1 disables")
+		name         = flag.String("name", "Wei Wang", "name to disambiguate")
+		minSim       = flag.Float64("minsim", 0, "clustering threshold (0 = default)")
+		unsupervised = flag.Bool("unsupervised", false, "skip SVM weight learning")
+		measureName  = flag.String("measure", "combined", "cluster measure: combined, resemblance, walk")
+		showWeights  = flag.Bool("weights", false, "print the learned join-path weights")
+		trainN       = flag.Int("train", 1000, "training pairs per class")
+		seed         = flag.Int64("seed", 1, "training-set sampling seed")
+		batch        = flag.Int("batch", 0, "disambiguate every name with at least this many references")
+		tune         = flag.Bool("tune", false, "auto-tune min-sim on synthetic rare-name pairs")
+		trace        = flag.Bool("trace", false, "print the merge profile of -name (helps choose min-sim)")
+		explain      = flag.Bool("explain", false, "explain the similarity of the first two references of -name")
+		dupNames     = flag.Int("dupnames", 0, "find the top-N differently written names that may denote one object (record linkage)")
+		saveModel    = flag.String("savemodel", "", "write the trained weights to this file")
+		loadModel    = flag.String("loadmodel", "", "load weights from this file instead of training")
+	)
+	flag.Parse()
+
+	var measure distinct.Measure
+	switch *measureName {
+	case "combined":
+		measure = distinct.Combined
+	case "resemblance":
+		measure = distinct.ResemblanceOnly
+	case "walk":
+		measure = distinct.RandomWalkOnly
+	default:
+		fatal(fmt.Errorf("unknown measure %q", *measureName))
+	}
+
+	var (
+		db        *distinct.Database
+		ambiguous []string
+		world     *dblp.World
+	)
+	if *xmlPath != "" {
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			fatal(err)
+		}
+		loaded, stats, err := dblpxml.Load(f, dblpxml.Options{})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s: %d records, %d authors, %d references (%d skipped)\n",
+			*xmlPath, stats.Records, stats.Authors, stats.Refs, stats.Skipped)
+		if *prune > 1 {
+			pruned, ps, err := dblpxml.Prune(loaded, *prune)
+			if err != nil {
+				fatal(err)
+			}
+			loaded = pruned
+			fmt.Printf("pruned authors with <%d refs: %d authors and %d references remain\n",
+				*prune, ps.AuthorsKept, ps.RefsKept)
+		}
+		db = loaded
+	} else {
+		w, err := dataio.LoadWorldFile(*worldPath)
+		if err != nil {
+			fatal(err)
+		}
+		world = w
+		db = w.DB
+		ambiguous = w.AmbiguousNames()
+	}
+	eng, err := distinct.Open(db, distinct.Config{
+		RefRelation:  "Publish",
+		RefAttr:      "author",
+		SkipExpand:   []string{"Publications.title"},
+		Unsupervised: *unsupervised,
+		Measure:      measure,
+		MinSim:       *minSim,
+		Train: distinct.TrainOptions{
+			NumPositive: *trainN, NumNegative: *trainN,
+			Exclude: ambiguous, Seed: *seed,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *loadModel != "":
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := distinct.LoadModel(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.ApplyModel(m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded model from %s (%d paths)\n", *loadModel, len(m.Paths))
+	case !*unsupervised:
+		rep, err := eng.Train()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained on %d+%d automatic examples from %d rare names in %v\n",
+			rep.NumPositive, rep.NumNegative, rep.NumRareNames, rep.Timings.TotalTrain)
+	}
+	if *showWeights {
+		paths := eng.Paths()
+		resemW, walkW := eng.Weights()
+		fmt.Println("join-path weights (resemblance / walk):")
+		for i, p := range paths {
+			if resemW[i] == 0 && walkW[i] == 0 {
+				continue
+			}
+			fmt.Printf("  %-100s %.3f / %.3f\n", p.Describe(eng.DB().Schema), resemW[i], walkW[i])
+		}
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.SaveModel(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model written to %s\n", *saveModel)
+	}
+	if *tune {
+		res, err := eng.TuneMinSim(nil, 50, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tuned min-sim = %g (avg f-measure %.3f over %d synthetic cases)\n",
+			res.MinSim, res.F1, res.Cases)
+	}
+	if *dupNames > 0 {
+		pairs, err := linkage.FindDuplicateNames(db, "Publish", "author", linkage.Options{
+			MinStringSim: 0.55,
+			MaxPairs:     *dupNames,
+			Verify:       func(a, b string) float64 { return eng.Affinity(a, b) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntop %d candidate duplicate names (string join + relational verification):\n", len(pairs))
+		fmt.Printf("%-26s %-26s %10s %12s\n", "name A", "name B", "string", "relational")
+		for _, p := range pairs {
+			fmt.Printf("%-26s %-26s %10.3f %12.5f\n", p.A, p.B, p.StringSim, p.RelationalSim)
+		}
+		return
+	}
+
+	if *batch > 0 {
+		res, err := eng.DisambiguateAll(*batch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nbatch pass: %d names with >=%d refs examined, %d split\n",
+			res.NamesExamined, *batch, len(res.Split))
+		for _, sp := range res.Split {
+			sizes := make([]int, len(sp.Groups))
+			for i, g := range sp.Groups {
+				sizes[i] = len(g)
+			}
+			fmt.Printf("  %-26s -> %d groups %v\n", sp.Name, len(sp.Groups), sizes)
+		}
+		return
+	}
+
+	if *trace {
+		refs := eng.Refs(*name)
+		fmt.Printf("\nmerge profile of %q (%d refs; merges in order, similarity and sizes):\n", *name, len(refs))
+		for i, st := range eng.MergeProfile(refs) {
+			fmt.Printf("  %3d  sim=%-10.6f  %d + %d\n", i+1, st.Sim, st.SizeA, st.SizeB)
+		}
+	}
+
+	if *explain {
+		refs := eng.Refs(*name)
+		if len(refs) >= 2 {
+			fmt.Printf("\n%s", eng.Explain(refs[0], refs[1]).Format(eng.DB().Schema))
+		}
+	}
+
+	groups, err := eng.Disambiguate(*name)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%q: %d references in %d groups\n", *name, len(eng.Refs(*name)), len(groups))
+	for i, g := range groups {
+		fmt.Printf("group %d (%d refs):\n", i+1, len(g))
+		for _, r := range g {
+			paper := eng.DB().Tuple(r).Val("paper-key")
+			pt := eng.DB().LookupKey("Publications", paper)
+			title := ""
+			if pt != distinct.InvalidTuple {
+				title = eng.DB().Tuple(pt).Val("title")
+			}
+			fmt.Printf("  %-10s %s\n", paper, title)
+		}
+	}
+
+	// Score against ground truth when available.
+	if world == nil {
+		return
+	}
+	for _, amb := range world.AmbiguousNames() {
+		if amb != *name {
+			continue
+		}
+		var gold [][]distinct.TupleID
+		for _, c := range world.GoldClusters(*name) {
+			gold = append(gold, eng.MapRefs(c))
+		}
+		m, err := distinct.Score(groups, gold)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nground truth: %d authors; %s\n", len(gold), m)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distinct:", err)
+	os.Exit(1)
+}

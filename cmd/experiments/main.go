@@ -1,0 +1,244 @@
+// Command experiments regenerates the evaluation of the DISTINCT paper
+// (Yin, Han, Yu; ICDE 2007) on a generated DBLP-like world: Tables 1 and 2,
+// Figures 4 and 5, the training timing, and the extra ablation comparison.
+//
+// Usage:
+//
+//	experiments [-all] [-table1] [-table2] [-figure4] [-figure5] [-timing]
+//	            [-ablation] [-name "Wei Wang"] [-dot out.dot]
+//	            [-seed N] [-communities N] [-authors N] [-minsim X]
+//
+// With no experiment flags, -all is assumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"distinct/internal/dblp"
+	"distinct/internal/experiments"
+	"distinct/internal/music"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "run every experiment")
+		table1  = flag.Bool("table1", false, "print Table 1 (the ambiguous-name dataset)")
+		table2  = flag.Bool("table2", false, "print Table 2 (DISTINCT accuracy per name)")
+		figure4 = flag.Bool("figure4", false, "print Figure 4 (six-variant comparison)")
+		figure5 = flag.Bool("figure5", false, "print Figure 5 (reference groups of one name)")
+		timing  = flag.Bool("timing", false, "print training timing (the paper's 62.1 s figure)")
+		ablate  = flag.Bool("ablation", false, "print the cluster-measure ablation (beyond the paper)")
+		scaling = flag.Bool("scaling", false, "print the scaling curve (beyond the paper)")
+		noise   = flag.Bool("noise", false, "print the noise-sensitivity curve (beyond the paper)")
+		musicF  = flag.Bool("music", false, "print the cross-domain music-catalog evaluation (beyond the paper)")
+		tsize   = flag.Bool("trainsize", false, "print the training-set size sensitivity curve (beyond the paper)")
+		seedsF  = flag.Bool("seeds", false, "print the seed-robustness sweep (beyond the paper)")
+		citesF  = flag.Bool("citations", false, "print the citation-linkage experiment (beyond the paper)")
+		expandF = flag.Bool("expansion", false, "print the attribute-expansion ablation (Section 2.1)")
+
+		name    = flag.String("name", "Wei Wang", "name for -figure5")
+		dotPath = flag.String("dot", "", "also write -figure5 output as Graphviz DOT to this file")
+
+		seed    = flag.Int64("seed", 1, "world generation seed")
+		comms   = flag.Int("communities", 0, "override number of research communities")
+		authors = flag.Int("authors", 0, "override authors per community")
+		minSim  = flag.Float64("minsim", 0, "override DISTINCT's min-sim threshold")
+		trainN  = flag.Int("train", 0, "override training pairs per class (paper: 1000)")
+		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	)
+	flag.Parse()
+
+	if !*table1 && !*table2 && !*figure4 && !*figure5 && !*timing && !*ablate && !*scaling && !*noise && !*musicF && !*tsize && !*seedsF && !*citesF && !*expandF {
+		*all = true
+	}
+	if *all {
+		*table1, *table2, *figure4, *figure5, *timing, *ablate = true, true, true, true, true, true
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	world := dblp.DefaultConfig()
+	world.Seed = *seed
+	if *comms > 0 {
+		world.Communities = *comms
+	}
+	if *authors > 0 {
+		world.AuthorsPerCommunity = *authors
+	}
+	opts := experiments.Options{World: world, MinSim: *minSim, Seed: *seed}
+	if *trainN > 0 {
+		opts.TrainPositive, opts.TrainNegative = *trainN, *trainN
+	}
+
+	fmt.Println("generating world...")
+	h, err := experiments.NewHarness(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("world: %d identities, %d papers, %d references\n\n",
+		len(h.World.Identities), h.World.NumPapers(), h.World.NumReferences())
+
+	if *table1 {
+		fmt.Println("=== Table 1: names corresponding to multiple authors ===")
+		rows := h.Table1()
+		fmt.Println(experiments.FormatTable1(rows))
+		writeCSV(*csvDir, "table1.csv", func(w io.Writer) error {
+			return experiments.WriteTable1CSV(w, rows)
+		})
+	}
+	if *timing {
+		fmt.Println("=== Section 5 timing: training pipeline ===")
+		tm, err := h.Timing()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatTiming(tm))
+	}
+	if *table2 {
+		fmt.Println("=== Table 2: accuracy for distinguishing references ===")
+		res, err := h.Table2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatTable2(res))
+		writeCSV(*csvDir, "table2.csv", func(w io.Writer) error {
+			return experiments.WriteTable2CSV(w, res)
+		})
+	}
+	if *figure4 {
+		fmt.Println("=== Figure 4: accuracy and f-measure of six variants ===")
+		rows, err := h.Figure4()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFigure4(rows))
+		writeCSV(*csvDir, "figure4.csv", func(w io.Writer) error {
+			return experiments.WriteFigure4CSV(w, rows)
+		})
+	}
+	if *ablate {
+		fmt.Println("=== Ablation: cluster-measure design choices (beyond the paper) ===")
+		rows, err := h.Ablation()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFigure4(rows))
+		writeCSV(*csvDir, "ablation.csv", func(w io.Writer) error {
+			return experiments.WriteFigure4CSV(w, rows)
+		})
+	}
+	if *scaling {
+		fmt.Println("=== Scaling: pipeline cost vs database size (beyond the paper) ===")
+		rows, err := h.Scaling(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatScaling(rows))
+		writeCSV(*csvDir, "scaling.csv", func(w io.Writer) error {
+			return experiments.WriteScalingCSV(w, rows)
+		})
+	}
+	if *noise {
+		fmt.Println("=== Noise sensitivity: quality vs cross-community collaboration (beyond the paper) ===")
+		rows, err := h.NoiseSensitivity(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatNoise(rows))
+		writeCSV(*csvDir, "noise.csv", func(w io.Writer) error {
+			return experiments.WriteNoiseCSV(w, rows)
+		})
+	}
+	if *expandF {
+		fmt.Println("=== Attribute-expansion ablation (Section 2.1) ===")
+		rows, err := h.ExpansionAblation()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatExpansion(rows))
+	}
+	if *citesF {
+		fmt.Println("=== Citation linkage: quality vs citation density (beyond the paper) ===")
+		rows, err := h.CitationLinkage(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatCitations(rows))
+	}
+	if *seedsF {
+		fmt.Println("=== Seed robustness: Table 2 averages across generated worlds (beyond the paper) ===")
+		sum, err := h.SeedSweep(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatSeeds(sum))
+		writeCSV(*csvDir, "seeds.csv", func(w io.Writer) error {
+			return experiments.WriteSeedsCSV(w, sum)
+		})
+	}
+	if *tsize {
+		fmt.Println("=== Training-set size sensitivity (beyond the paper) ===")
+		rows, err := h.TrainSizeSensitivity(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatTrainSize(rows))
+		writeCSV(*csvDir, "trainsize.csv", func(w io.Writer) error {
+			return experiments.WriteTrainSizeCSV(w, rows)
+		})
+	}
+	if *musicF {
+		fmt.Println("=== Cross-domain: songs sharing a title, AllMusic-style (beyond the paper) ===")
+		mres, err := experiments.MusicEvaluation(music.DefaultConfig(), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatMusic(mres))
+	}
+	if *figure5 {
+		fmt.Printf("=== Figure 5: groups of references of %s ===\n", *name)
+		res, err := h.Figure5(*name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFigure5(res))
+		if *dotPath != "" {
+			if err := os.WriteFile(*dotPath, []byte(experiments.DOTFigure5(res)), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("DOT written to %s\n", *dotPath)
+		}
+	}
+}
+
+// writeCSV writes one experiment's CSV into dir, if a dir was requested.
+func writeCSV(dir, name string, write func(io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("CSV written to %s\n\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

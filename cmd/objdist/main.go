@@ -1,0 +1,154 @@
+// Command objdist runs object distinction on arbitrary relational data: a
+// JSON schema plus one TSV file per relation. Nothing about it is specific
+// to bibliographies — point it at any database whose references share names
+// (products, songs, people) and it will split them by linkage structure.
+//
+// Usage:
+//
+//	objdist -schema schema.json -datadir dir -refrel Publish -refattr author \
+//	        [-name "Wei Wang" | -batch N] [-minsim X] [-tune] [-unsupervised]
+//	        [-skip "Papers.title,..."]
+//
+// The data directory must contain <Relation>.tsv for every relation of the
+// schema, each with a header row naming its columns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"distinct"
+	"distinct/internal/dataio"
+	"distinct/internal/linkage"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "schema.json", "JSON schema document")
+		dataDir    = flag.String("datadir", ".", "directory holding <Relation>.tsv files")
+		refRel     = flag.String("refrel", "", "relation holding the references")
+		refAttr    = flag.String("refattr", "", "foreign-key attribute holding the shared names")
+		name       = flag.String("name", "", "one name to disambiguate")
+		batch      = flag.Int("batch", 0, "disambiguate every name with at least this many references")
+		minSim     = flag.Float64("minsim", 0, "clustering threshold (0 = default)")
+		tune       = flag.Bool("tune", false, "auto-tune min-sim on rare-name pairs first")
+		unsup      = flag.Bool("unsupervised", false, "skip SVM weight learning")
+		skip       = flag.String("skip", "", "comma-separated Relation.attr list to exclude from expansion")
+		trainN     = flag.Int("train", 500, "training pairs per class")
+		seed       = flag.Int64("seed", 1, "sampling seed")
+		dupNames   = flag.Int("dupnames", 0, "instead: find the top-N differently written names that may denote one object")
+	)
+	flag.Parse()
+	if *refRel == "" || *refAttr == "" {
+		fatal(fmt.Errorf("-refrel and -refattr are required"))
+	}
+	if *name == "" && *batch == 0 && *dupNames == 0 {
+		fatal(fmt.Errorf("give -name, -batch or -dupnames"))
+	}
+
+	sf, err := os.Open(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	schema, err := dataio.ParseSchema(sf)
+	sf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	db := distinct.NewDatabase(schema)
+	for _, rs := range schema.Relations() {
+		path := filepath.Join(*dataDir, rs.Name+".tsv")
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(fmt.Errorf("relation %s: %w", rs.Name, err))
+		}
+		n, err := dataio.LoadTSV(db, rs.Name, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s: %d tuples\n", path, n)
+	}
+
+	var skips []string
+	if *skip != "" {
+		skips = strings.Split(*skip, ",")
+	}
+	eng, err := distinct.Open(db, distinct.Config{
+		RefRelation:  *refRel,
+		RefAttr:      *refAttr,
+		SkipExpand:   skips,
+		Unsupervised: *unsup,
+		MinSim:       *minSim,
+		Train: distinct.TrainOptions{
+			NumPositive: *trainN, NumNegative: *trainN, Seed: *seed,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if !*unsup {
+		rep, err := eng.Train()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained on %d+%d automatic pairs from %d rare names\n",
+			rep.NumPositive, rep.NumNegative, rep.NumRareNames)
+	}
+	if *tune {
+		res, err := eng.TuneMinSim(nil, 50, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tuned min-sim = %g (f=%.3f over %d cases)\n", res.MinSim, res.F1, res.Cases)
+	}
+
+	if *dupNames > 0 {
+		pairs, err := linkage.FindDuplicateNames(db, *refRel, *refAttr, linkage.Options{
+			MinStringSim: 0.55,
+			MaxPairs:     *dupNames,
+			Verify:       eng.Affinity,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntop %d candidate duplicate names:\n", len(pairs))
+		for _, p := range pairs {
+			fmt.Printf("  %-30s %-30s string %.3f relational %.5f\n", p.A, p.B, p.StringSim, p.RelationalSim)
+		}
+		return
+	}
+
+	if *batch > 0 {
+		res, err := eng.DisambiguateAll(*batch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%d names examined, %d split:\n", res.NamesExamined, len(res.Split))
+		for _, s := range res.Split {
+			fmt.Printf("  %-30s -> %d objects\n", s.Name, len(s.Groups))
+		}
+		return
+	}
+
+	groups, err := eng.Disambiguate(*name)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%q: %d references in %d groups\n", *name, len(eng.Refs(*name)), len(groups))
+	for i, g := range groups {
+		fmt.Printf("group %d:\n", i+1)
+		for _, r := range g {
+			fmt.Printf("  %s\n", strings.Join(eng.DB().Tuple(r).Vals, "\t"))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "objdist:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,290 @@
+package distinct
+
+import (
+	"io"
+
+	"distinct/internal/cluster"
+	"distinct/internal/core"
+	"distinct/internal/eval"
+	"distinct/internal/reldb"
+	"distinct/internal/svm"
+	"distinct/internal/trainset"
+)
+
+// Relational substrate. These aliases re-export the in-memory relational
+// engine so library users can define schemas and load data without touching
+// internal packages.
+type (
+	// Attribute describes one column: Key marks the primary key, FK names
+	// the referenced relation for foreign keys.
+	Attribute = reldb.Attribute
+	// RelationSchema is one relation's name and ordered attributes.
+	RelationSchema = reldb.RelationSchema
+	// Schema is a set of relations with resolved foreign keys.
+	Schema = reldb.Schema
+	// Database is an in-memory relational database instance.
+	Database = reldb.Database
+	// TupleID identifies a tuple within one Database.
+	TupleID = reldb.TupleID
+	// JoinPath is a chain of foreign-key traversals; similarities are
+	// computed per join path.
+	JoinPath = reldb.JoinPath
+)
+
+// InvalidTuple is returned by lookups that find nothing.
+const InvalidTuple = reldb.InvalidTuple
+
+// NewRelationSchema builds and validates a relation schema.
+func NewRelationSchema(name string, attrs ...Attribute) (*RelationSchema, error) {
+	return reldb.NewRelationSchema(name, attrs...)
+}
+
+// MustRelationSchema is NewRelationSchema that panics on error.
+func MustRelationSchema(name string, attrs ...Attribute) *RelationSchema {
+	return reldb.MustRelationSchema(name, attrs...)
+}
+
+// NewSchema builds and validates a schema from relation schemas.
+func NewSchema(relations ...*RelationSchema) (*Schema, error) {
+	return reldb.NewSchema(relations...)
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(relations ...*RelationSchema) *Schema {
+	return reldb.MustSchema(relations...)
+}
+
+// NewDatabase creates an empty database over the schema.
+func NewDatabase(schema *Schema) *Database { return reldb.NewDatabase(schema) }
+
+// Measure selects how cluster-pair similarity is computed.
+type Measure = cluster.Measure
+
+// Cluster similarity measures. Combined is DISTINCT's composite measure;
+// the others give the paper's Figure 4 variants and ablations.
+const (
+	Combined           = cluster.Combined
+	ResemblanceOnly    = cluster.ResemOnly
+	RandomWalkOnly     = cluster.WalkOnly
+	CombinedArithmetic = cluster.CombinedArithmetic
+	SingleLink         = cluster.SingleLink
+	CompleteLink       = cluster.CompleteLink
+)
+
+// DefaultMinSim is the default clustering threshold (the analogue of the
+// paper's min-sim = 0.0005 under this implementation's normalised weights).
+const DefaultMinSim = core.DefaultMinSim
+
+// TrainOptions configures the automatic training-set construction.
+type TrainOptions = trainset.Options
+
+// SVMOptions configures the linear SVM solver.
+type SVMOptions = svm.Options
+
+// TrainReport summarises a training run: set sizes, per-path weights,
+// training accuracies and stage timings.
+type TrainReport = core.TrainReport
+
+// Config configures an Engine. RefRelation and RefAttr are required; they
+// locate the references to disambiguate (RefAttr must be a foreign key to
+// the relation keyed by the shared names). The remaining fields default to
+// the paper's configuration.
+type Config struct {
+	// RefRelation and RefAttr locate the references, e.g. Publish.author.
+	RefRelation, RefAttr string
+	// SkipExpand lists "Relation.attr" free-text attributes to exclude from
+	// attribute-value expansion (e.g. paper titles).
+	SkipExpand []string
+	// MaxPathLen caps join-path length (default 4).
+	MaxPathLen int
+	// Unsupervised disables SVM weight learning; all join paths then weigh
+	// equally. The zero value (supervised) is the full DISTINCT.
+	Unsupervised bool
+	// Measure is the cluster similarity measure (default Combined).
+	Measure Measure
+	// MinSim is the clustering stop threshold (default DefaultMinSim).
+	MinSim float64
+	// Train tunes the automatic training set (defaults follow the paper:
+	// 1000 positive and 1000 negative pairs from rare names).
+	Train TrainOptions
+	// SVM tunes the solver (defaults: C=1, dual coordinate descent).
+	SVM SVMOptions
+	// Workers bounds the goroutines used for feature extraction, the
+	// dominant cost (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+}
+
+// Engine is a ready-to-use DISTINCT instance bound to one database.
+type Engine struct {
+	inner *core.Engine
+}
+
+// Open prepares an engine over the database: it expands attribute values
+// into tuples and enumerates the join paths. The input database is not
+// modified. Call Train before Disambiguate for learned path weights;
+// without Train the engine runs with uniform weights.
+func Open(db *Database, cfg Config) (*Engine, error) {
+	inner, err := core.NewEngine(db, core.Config{
+		RefRelation: cfg.RefRelation,
+		RefAttr:     cfg.RefAttr,
+		SkipExpand:  cfg.SkipExpand,
+		MaxPathLen:  cfg.MaxPathLen,
+		Supervised:  !cfg.Unsupervised,
+		Measure:     cfg.Measure,
+		MinSim:      cfg.MinSim,
+		Train:       cfg.Train,
+		SVM:         cfg.SVM,
+		Workers:     cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Train constructs the automatic training set, fits the two SVM models and
+// installs learned join-path weights (unless the engine is unsupervised, in
+// which case the report is informational and uniform weights remain).
+func (e *Engine) Train() (*TrainReport, error) { return e.inner.Train() }
+
+// Disambiguate splits the references carrying name into groups, one group
+// per inferred real object. The returned tuple IDs belong to the engine's
+// expanded database, accessible via DB.
+func (e *Engine) Disambiguate(name string) ([][]TupleID, error) {
+	return e.inner.DisambiguateName(name)
+}
+
+// DisambiguateRefs clusters an explicit set of references (expanded-DB IDs).
+func (e *Engine) DisambiguateRefs(refs []TupleID) [][]TupleID {
+	return e.inner.DisambiguateRefs(refs)
+}
+
+// Refs returns the references carrying the name, in the engine's database.
+func (e *Engine) Refs(name string) []TupleID { return e.inner.RefsForName(name) }
+
+// DB returns the engine's attribute-expanded database; tuple IDs returned
+// by Disambiguate refer to it.
+func (e *Engine) DB() *Database { return e.inner.DB() }
+
+// MapRef translates a tuple ID of the original database passed to Open into
+// the engine's expanded database (InvalidTuple if unknown).
+func (e *Engine) MapRef(id TupleID) TupleID { return e.inner.MapRef(id) }
+
+// MapRefs translates a slice of original tuple IDs.
+func (e *Engine) MapRefs(ids []TupleID) []TupleID { return e.inner.MapRefs(ids) }
+
+// Paths returns the enumerated join paths, in the order Weights uses.
+func (e *Engine) Paths() []JoinPath { return e.inner.Paths() }
+
+// Weights returns the current per-path weights for the resemblance and
+// random-walk measures (each non-negative, summing to one).
+func (e *Engine) Weights() (resem, walk []float64) { return e.inner.Weights() }
+
+// SetWeights installs explicit per-path weights (one per Paths entry, for
+// the resemblance and walk measures respectively). Negative entries are
+// clipped to zero and each vector is normalised to sum one. Use this when
+// the database is too small for automatic training and you know which join
+// paths matter.
+func (e *Engine) SetWeights(resem, walk []float64) error {
+	return e.inner.SetWeights(resem, walk)
+}
+
+// NameGroups is the disambiguation outcome for one name in a batch pass.
+type NameGroups = core.NameGroups
+
+// BatchResult summarises a whole-database disambiguation pass.
+type BatchResult = core.BatchResult
+
+// DisambiguateAll runs DISTINCT over every name carrying at least minRefs
+// references and reports the names whose references split into more than
+// one group — the suspected homonyms in the whole database.
+func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
+	return e.inner.DisambiguateAll(minRefs)
+}
+
+// TuneResult reports a min-sim auto-tuning run.
+type TuneResult = core.TuneResult
+
+// TuneMinSim selects and installs the clustering threshold without labeled
+// data, by synthetically merging pairs of rare names (each presumed to be
+// one real object) into pseudo-ambiguous validation cases and sweeping the
+// grid (nil = default grid) for the best average f-measure over up to
+// maxCases cases.
+func (e *Engine) TuneMinSim(grid []float64, maxCases int, seed int64) (*TuneResult, error) {
+	return e.inner.TuneMinSim(grid, maxCases, seed)
+}
+
+// DisambiguateAuto clusters the name's references with a per-name
+// threshold: the dendrogram is cut at its largest similarity collapse when
+// a crisp gap exists, and at the engine's min-sim otherwise (an extension
+// beyond the paper's fixed global threshold).
+func (e *Engine) DisambiguateAuto(name string) ([][]TupleID, error) {
+	return e.inner.DisambiguateNameAuto(name)
+}
+
+// Explanation breaks one pair's similarity down by join path (see Explain).
+type Explanation = core.Explanation
+
+// PathContribution is one join path's share of a pair's similarity.
+type PathContribution = core.PathContribution
+
+// Explain answers "why does the engine think these two references are (or
+// are not) the same object?" with a per-path similarity breakdown,
+// strongest contribution first. Render it with Explanation.Format(eng.DB().Schema).
+func (e *Engine) Explain(r1, r2 TupleID) *Explanation { return e.inner.Explain(r1, r2) }
+
+// Affinity returns the relational affinity between the full reference sets
+// of two names (the composite cluster similarity between them). Record
+// linkage uses it to check whether two differently written names denote
+// one object: spellings of one person share collaborators and venues.
+func (e *Engine) Affinity(a, b string) float64 { return e.inner.NameAffinity(a, b) }
+
+// MergeStep is one step of a merge profile (see MergeProfile).
+type MergeStep = core.MergeStep
+
+// MergeProfile clusters the references fully (ignoring min-sim) and returns
+// each merge's similarity, first merge first — the dendrogram profile used
+// to choose min-sim by inspection: place the threshold where similarity
+// collapses.
+func (e *Engine) MergeProfile(refs []TupleID) []MergeStep {
+	return e.inner.MergeProfile(refs)
+}
+
+// SetMinSim overrides the clustering threshold; MinSim reads it.
+func (e *Engine) SetMinSim(v float64) { e.inner.SetMinSim(v) }
+
+// MinSim returns the current clustering threshold.
+func (e *Engine) MinSim() float64 { return e.inner.MinSim() }
+
+// SetMeasure overrides the cluster similarity measure.
+func (e *Engine) SetMeasure(m Measure) { e.inner.SetMeasure(m) }
+
+// Model is a portable snapshot of trained join-path weights; save it after
+// Train and load it into a future engine over the same schema.
+type Model = core.Model
+
+// ExportModel snapshots the engine's current weights.
+func (e *Engine) ExportModel() *Model { return e.inner.ExportModel() }
+
+// ApplyModel installs a saved model's weights; the model's join paths must
+// match the engine's exactly.
+func (e *Engine) ApplyModel(m *Model) error { return e.inner.ApplyModel(m) }
+
+// SaveModel writes the engine's current weights as JSON.
+func (e *Engine) SaveModel(w io.Writer) error { return e.inner.SaveModel(w) }
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// Metrics are pairwise clustering scores (precision, recall, f-measure,
+// accuracy), as defined in Section 5 of the paper.
+type Metrics = eval.Metrics
+
+// Clustering is a partition of references.
+type Clustering = eval.Clustering
+
+// Score evaluates a predicted grouping against a gold grouping using
+// pairwise precision/recall/f-measure/accuracy.
+func Score(pred, gold [][]TupleID) (Metrics, error) {
+	return eval.Evaluate(eval.Clustering(pred), eval.Clustering(gold))
+}

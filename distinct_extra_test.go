@@ -1,0 +1,130 @@
+package distinct_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"distinct"
+	"distinct/internal/dblp"
+)
+
+func trainedEngine(t *testing.T, w *dblp.World) *distinct.Engine {
+	t.Helper()
+	eng, err := distinct.Open(w.DB, distinct.Config{
+		RefRelation: "Publish",
+		RefAttr:     "author",
+		SkipExpand:  []string{"Publications.title"},
+		MinSim:      0.005,
+		Train: distinct.TrainOptions{
+			NumPositive: 100, NumNegative: 100, Seed: 1,
+			Exclude: w.AmbiguousNames(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestPublicBatchDisambiguation(t *testing.T) {
+	w := publicWorld(t)
+	eng := trainedEngine(t, w)
+	res, err := eng.DisambiguateAll(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NamesExamined == 0 {
+		t.Fatal("batch pass examined nothing")
+	}
+	found := false
+	for _, s := range res.Split {
+		if s.Name == "Wei Wang" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("batch pass missed the injected homonym")
+	}
+}
+
+func TestPublicTuneMinSim(t *testing.T) {
+	w := publicWorld(t)
+	eng := trainedEngine(t, w)
+	res, err := eng.TuneMinSim(nil, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.MinSim() != res.MinSim {
+		t.Error("tuned threshold not installed")
+	}
+	eng.SetMinSim(0.42)
+	if eng.MinSim() != 0.42 {
+		t.Error("SetMinSim did not stick")
+	}
+	eng.SetMeasure(distinct.ResemblanceOnly)
+}
+
+func TestPublicModelPersistence(t *testing.T) {
+	w := publicWorld(t)
+	eng := trainedEngine(t, w)
+	var buf bytes.Buffer
+	if err := eng.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := distinct.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second engine over the same world adopts the trained weights
+	// without retraining.
+	eng2, err := distinct.Open(w.DB, distinct.Config{
+		RefRelation: "Publish",
+		RefAttr:     "author",
+		SkipExpand:  []string{"Publications.title"},
+		MinSim:      0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.ApplyModel(m); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := eng.Weights()
+	r2, _ := eng2.Weights()
+	for i := range r1 {
+		// ApplyModel re-normalises defensively (model files are editable),
+		// which can perturb the last bits; demand near-exact equality.
+		if math.Abs(r1[i]-r2[i]) > 1e-12 {
+			t.Fatalf("model transfer changed weight %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	if m2 := eng.ExportModel(); len(m2.Paths) != len(eng.Paths()) {
+		t.Error("exported model path count mismatch")
+	}
+}
+
+func TestPublicWorkersConfig(t *testing.T) {
+	w := publicWorld(t)
+	eng, err := distinct.Open(w.DB, distinct.Config{
+		RefRelation:  "Publish",
+		RefAttr:      "author",
+		SkipExpand:   []string{"Publications.title"},
+		Workers:      4,
+		MinSim:       0.005,
+		Unsupervised: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := eng.Disambiguate("Wei Wang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+}

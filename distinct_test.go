@@ -1,0 +1,140 @@
+package distinct_test
+
+import (
+	"testing"
+
+	"distinct"
+	"distinct/internal/dblp"
+)
+
+func publicWorld(t testing.TB) *dblp.World {
+	t.Helper()
+	cfg := dblp.DefaultConfig()
+	cfg.Communities = 4
+	cfg.AuthorsPerCommunity = 50
+	cfg.PapersPerAuthor = 3
+	cfg.Ambiguous = []dblp.AmbiguousName{
+		{Name: "Wei Wang", RefsPerAuthor: []int{10, 7}},
+	}
+	w, err := dblp.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w := publicWorld(t)
+	eng, err := distinct.Open(w.DB, distinct.Config{
+		RefRelation: "Publish",
+		RefAttr:     "author",
+		SkipExpand:  []string{"Publications.title"},
+		Train: distinct.TrainOptions{
+			NumPositive: 100, NumNegative: 100, Seed: 1,
+			Exclude: []string{"Wei Wang"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumPositive != 100 || rep.NumPaths != len(eng.Paths()) {
+		t.Errorf("report %+v inconsistent", rep)
+	}
+	groups, err := eng.Disambiguate("Wei Wang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gold [][]distinct.TupleID
+	for _, c := range w.GoldClusters("Wei Wang") {
+		gold = append(gold, eng.MapRefs(c))
+	}
+	m, err := distinct.Score(groups, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Wei Wang via public API: %s", m)
+	if m.F1 < 0.6 {
+		t.Errorf("public API pipeline f-measure %v", m.F1)
+	}
+	// Refs and DB round-trip.
+	refs := eng.Refs("Wei Wang")
+	if len(refs) != 17 {
+		t.Errorf("refs = %d, want 17", len(refs))
+	}
+	for _, r := range refs {
+		if eng.DB().Tuple(r).Val("author") != "Wei Wang" {
+			t.Fatal("Refs returned a tuple with the wrong name")
+		}
+	}
+	rw, ww := eng.Weights()
+	if len(rw) != len(eng.Paths()) || len(ww) != len(rw) {
+		t.Error("weights/paths mismatch")
+	}
+}
+
+func TestPublicSchemaBuilders(t *testing.T) {
+	users := distinct.MustRelationSchema("Users", distinct.Attribute{Name: "name", Key: true})
+	reviews := distinct.MustRelationSchema("Reviews",
+		distinct.Attribute{Name: "user", FK: "Users"},
+		distinct.Attribute{Name: "product", FK: "Products"},
+	)
+	products := distinct.MustRelationSchema("Products",
+		distinct.Attribute{Name: "id", Key: true},
+		distinct.Attribute{Name: "brand"},
+	)
+	schema, err := distinct.NewSchema(users, reviews, products)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := distinct.NewDatabase(schema)
+	db.MustInsert("Users", "alice")
+	db.MustInsert("Products", "p1", "Acme")
+	db.MustInsert("Products", "p2", "Acme")
+	db.MustInsert("Reviews", "alice", "p1")
+	db.MustInsert("Reviews", "alice", "p2")
+
+	eng, err := distinct.Open(db, distinct.Config{
+		RefRelation:  "Reviews",
+		RefAttr:      "user",
+		Unsupervised: true,
+		MinSim:       0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := eng.Disambiguate("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both reviews share the Acme brand linkage, so they group together.
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Errorf("alice groups = %v", groups)
+	}
+	if _, err := distinct.NewRelationSchema("", distinct.Attribute{Name: "x"}); err == nil {
+		t.Error("invalid schema accepted through public API")
+	}
+	if _, err := distinct.NewSchema(users, users); err == nil {
+		t.Error("duplicate relation accepted through public API")
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if distinct.DefaultMinSim <= 0 {
+		t.Error("DefaultMinSim must be positive")
+	}
+	measures := []distinct.Measure{
+		distinct.Combined, distinct.ResemblanceOnly, distinct.RandomWalkOnly,
+		distinct.CombinedArithmetic, distinct.SingleLink, distinct.CompleteLink,
+	}
+	seen := map[distinct.Measure]bool{}
+	for _, m := range measures {
+		if seen[m] {
+			t.Fatalf("duplicate measure constant %v", m)
+		}
+		seen[m] = true
+	}
+}

@@ -1,0 +1,95 @@
+package distinct_test
+
+import (
+	"testing"
+
+	"distinct"
+)
+
+// TestPublicWrapperSurface exercises the thin public wrappers end to end so
+// the façade cannot silently drift from the engine underneath.
+func TestPublicWrapperSurface(t *testing.T) {
+	w := publicWorld(t)
+	eng := trainedEngine(t, w)
+
+	refs := eng.Refs("Wei Wang")
+	if len(refs) == 0 {
+		t.Fatal("no refs")
+	}
+
+	// DisambiguateRefs on an explicit subset.
+	groups := eng.DisambiguateRefs(refs[:5])
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 5 {
+		t.Errorf("subset clustering covers %d refs", total)
+	}
+
+	// MapRef singular.
+	orig := w.Refs("Wei Wang")[0]
+	if eng.MapRef(orig) == distinct.InvalidTuple {
+		t.Error("MapRef failed on a known reference")
+	}
+	if eng.MapRef(distinct.TupleID(1<<29)) != distinct.InvalidTuple {
+		t.Error("MapRef resolved a bogus ID")
+	}
+
+	// MergeProfile through the façade.
+	prof := eng.MergeProfile(refs)
+	if len(prof) != len(refs)-1 {
+		t.Errorf("merge profile %d steps for %d refs", len(prof), len(refs))
+	}
+
+	// DisambiguateAuto through the façade.
+	auto, err := eng.DisambiguateAuto("Wei Wang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, g := range auto {
+		total += len(g)
+	}
+	if total != len(refs) {
+		t.Errorf("auto clustering covers %d of %d refs", total, len(refs))
+	}
+	if _, err := eng.DisambiguateAuto("No Such Name"); err == nil {
+		t.Error("auto clustering accepted unknown name")
+	}
+
+	// Explain through the façade.
+	ex := eng.Explain(refs[0], refs[1])
+	if ex == nil || ex.R1 != refs[0] {
+		t.Fatal("Explain returned nothing")
+	}
+	if out := ex.Format(eng.DB().Schema); len(out) == 0 {
+		t.Error("empty explanation text")
+	}
+
+	// SetWeights through the façade.
+	n := len(eng.Paths())
+	wv := make([]float64, n)
+	wv[0] = 1
+	if err := eng.SetWeights(wv, wv); err != nil {
+		t.Fatal(err)
+	}
+	rw, _ := eng.Weights()
+	if rw[0] != 1 {
+		t.Errorf("SetWeights not applied: %v", rw[0])
+	}
+	if err := eng.SetWeights(wv[:1], wv); err == nil {
+		t.Error("short weight vector accepted")
+	}
+}
+
+func TestPublicAffinity(t *testing.T) {
+	w := publicWorld(t)
+	eng := trainedEngine(t, w)
+	if got := eng.Affinity("Wei Wang", "Wei Wang"); got <= 0 {
+		t.Errorf("self affinity = %v", got)
+	}
+	if eng.Affinity("Wei Wang", "Nobody") != 0 {
+		t.Error("missing-name affinity not zero")
+	}
+}

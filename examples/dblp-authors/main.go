@@ -1,0 +1,88 @@
+// DBLP authors: the paper's main scenario, end to end.
+//
+// The example generates a DBLP-like bibliographic world whose ten ambiguous
+// names carry the exact author/reference profile of Table 1 of the paper
+// (Hui Fang 3/9 … Wei Wang 14/143), trains DISTINCT's join-path weights on
+// an automatically constructed training set — no manual labels — and
+// disambiguates every ambiguous name, scoring against the generator's
+// ground truth.
+//
+// Run with: go run ./examples/dblp-authors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distinct"
+	"distinct/internal/dblp"
+)
+
+func main() {
+	fmt.Println("generating a DBLP-like world with the paper's Table 1 profile...")
+	world, err := dblp.Generate(dblp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d identities, %d papers, %d references\n\n",
+		len(world.Identities), world.NumPapers(), world.NumReferences())
+
+	eng, err := distinct.Open(world.DB, distinct.Config{
+		RefRelation: "Publish",
+		RefAttr:     "author",
+		SkipExpand:  []string{"Publications.title"},
+		Train: distinct.TrainOptions{
+			// Never train on the names under evaluation.
+			Exclude: world.AmbiguousNames(),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := eng.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d+%d automatic pairs from %d rare names in %v\n",
+		rep.NumPositive, rep.NumNegative, rep.NumRareNames, rep.Timings.TotalTrain)
+	fmt.Printf("SVM training accuracy: resemblance %.3f, walk %.3f\n\n",
+		rep.ResemAccuracy, rep.WalkAccuracy)
+
+	// The learned weights explain what the model found informative.
+	fmt.Println("most informative join paths (resemblance weight):")
+	paths := eng.Paths()
+	resemW, _ := eng.Weights()
+	for i, p := range paths {
+		if resemW[i] >= 0.05 {
+			fmt.Printf("  %5.2f  %s\n", resemW[i], p.Describe(eng.DB().Schema))
+		}
+	}
+	fmt.Println()
+
+	fmt.Printf("%-22s %8s %8s %10s %8s %8s\n", "name", "#authors", "#refs", "precision", "recall", "f-meas")
+	var sumP, sumR, sumF float64
+	names := world.AmbiguousNames()
+	for _, name := range names {
+		groups, err := eng.Disambiguate(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var gold [][]distinct.TupleID
+		for _, c := range world.GoldClusters(name) {
+			gold = append(gold, eng.MapRefs(c))
+		}
+		m, err := distinct.Score(groups, gold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8d %8d %10.3f %8.3f %8.3f\n",
+			name, len(gold), len(eng.Refs(name)), m.Precision, m.Recall, m.F1)
+		sumP += m.Precision
+		sumR += m.Recall
+		sumF += m.F1
+	}
+	n := float64(len(names))
+	fmt.Printf("%-22s %8s %8s %10.3f %8.3f %8.3f\n", "average", "", "", sumP/n, sumR/n, sumF/n)
+	fmt.Println("\n(the paper reports average recall 0.836 with no false positives on 7/10 names)")
+}

@@ -1,0 +1,222 @@
+// Products: distinguishing songs that share one title.
+//
+// The paper's introduction motivates object distinction with allmusic.com,
+// where 72 different songs are named "Forgotten". This example shows
+// DISTINCT on that domain with a schema that has nothing to do with DBLP:
+//
+//	Titles(title)                                 – the shared names
+//	Tracks(title -> Titles, album -> Albums)      – the references
+//	Albums(album, artist -> Artists, label -> Labels, year)
+//	Artists(artist, genre)
+//	Labels(label)
+//
+// A synthetic music catalog is generated in which four different songs
+// called "Forgotten" (by four artists in different genres) each appear on
+// several albums — original records, re-releases, compilations. The engine
+// trains itself on rare titles (presumed to be a single song) and then
+// groups the "Forgotten" track references by real song.
+//
+// Run with: go run ./examples/products
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"distinct"
+)
+
+var genres = []string{"rock", "jazz", "electronic", "folk"}
+
+var titleWords1 = []string{
+	"Midnight", "Silver", "Broken", "Electric", "Golden", "Silent", "Wild",
+	"Burning", "Frozen", "Crimson", "Velvet", "Hollow", "Distant", "Neon",
+	"Paper", "Iron", "Glass", "Violet", "Echoing", "Fading", "Scarlet",
+	"Wandering", "Sleeping", "Rising", "Falling", "Hidden", "Lonely",
+	"Restless", "Shattered", "Gentle", "Bitter", "Amber", "Pale", "Last",
+	"First", "Endless", "Quiet", "Roaring", "Drifting", "Sacred",
+}
+
+var titleWords2 = []string{
+	"Rain", "Road", "Heart", "Dream", "River", "Sky", "Fire", "Dance",
+	"Shadow", "Mirror", "Train", "Garden", "Letter", "Season", "Harbor",
+	"Window", "Circle", "Lantern", "Meadow", "Thunder", "Valley", "Coast",
+	"Bridge", "Tower", "Island", "Desert", "Forest", "Ocean", "Canyon",
+	"Street", "Morning", "Evening", "Winter", "Summer", "Stranger",
+	"Promise", "Secret", "Whisper", "Echo", "Horizon",
+}
+
+// pickWord draws from a pool with a power-law skew: low indexes dominate,
+// high indexes form the rare tail the automatic training set needs.
+func pickWord(rng *rand.Rand, pool []string) string {
+	u := rng.Float64()
+	return pool[int(float64(len(pool))*u*u*u)]
+}
+
+type song struct {
+	artist string
+	albums []string // albums the song appears on
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	schema := distinct.MustSchema(
+		distinct.MustRelationSchema("Titles",
+			distinct.Attribute{Name: "title", Key: true}),
+		distinct.MustRelationSchema("Tracks",
+			distinct.Attribute{Name: "title", FK: "Titles"},
+			distinct.Attribute{Name: "album", FK: "Albums"}),
+		distinct.MustRelationSchema("Albums",
+			distinct.Attribute{Name: "album", Key: true},
+			distinct.Attribute{Name: "artist", FK: "Artists"},
+			distinct.Attribute{Name: "label", FK: "Labels"},
+			distinct.Attribute{Name: "year"}),
+		distinct.MustRelationSchema("Artists",
+			distinct.Attribute{Name: "artist", Key: true},
+			distinct.Attribute{Name: "genre"}),
+		distinct.MustRelationSchema("Labels",
+			distinct.Attribute{Name: "label", Key: true}),
+	)
+	db := distinct.NewDatabase(schema)
+
+	titles := map[string]bool{}
+	addTitle := func(t string) {
+		if !titles[t] {
+			db.MustInsert("Titles", t)
+			titles[t] = true
+		}
+	}
+
+	// Labels and artists per genre.
+	artistAlbums := map[string][]string{} // artist -> album keys
+	var artists []string
+	for gi, g := range genres {
+		for l := 0; l < 2; l++ {
+			db.MustInsert("Labels", fmt.Sprintf("%s-label-%d", g, l))
+		}
+		for a := 0; a < 8; a++ {
+			artist := fmt.Sprintf("%s-artist-%d", g, a)
+			db.MustInsert("Artists", artist, g)
+			artists = append(artists, artist)
+			nAlbums := 3 + rng.Intn(3)
+			for al := 0; al < nAlbums; al++ {
+				album := fmt.Sprintf("%s/album-%d", artist, al)
+				label := fmt.Sprintf("%s-label-%d", g, rng.Intn(2))
+				year := fmt.Sprintf("%d", 1980+gi*5+rng.Intn(25))
+				db.MustInsert("Albums", album, artist, label, year)
+				artistAlbums[artist] = append(artistAlbums[artist], album)
+			}
+		}
+	}
+
+	// Ordinary tracks: each album gets 8-12 songs with two-word titles.
+	// Each artist also has "signature songs" that recur across their albums
+	// (re-releases and compilations) — the linkage DISTINCT exploits.
+	for _, artist := range artists {
+		albums := artistAlbums[artist]
+		signatures := make([]string, 2+rng.Intn(2))
+		for i := range signatures {
+			signatures[i] = pickWord(rng, titleWords1) + " " + pickWord(rng, titleWords2)
+		}
+		for _, album := range albums {
+			n := 8 + rng.Intn(5)
+			used := map[string]bool{}
+			for t := 0; t < n; t++ {
+				var title string
+				if rng.Float64() < 0.3 {
+					title = signatures[rng.Intn(len(signatures))]
+				} else {
+					title = pickWord(rng, titleWords1) + " " + pickWord(rng, titleWords2)
+				}
+				if used[title] {
+					continue
+				}
+				used[title] = true
+				addTitle(title)
+				db.MustInsert("Tracks", title, album)
+			}
+		}
+	}
+
+	// Four different songs named "Forgotten", by artists in four genres,
+	// each appearing on several of that artist's albums.
+	addTitle("Forgotten")
+	goldSongs := []song{
+		{artist: "rock-artist-0"},
+		{artist: "jazz-artist-3"},
+		{artist: "electronic-artist-5"},
+		{artist: "folk-artist-2"},
+	}
+	appearances := []int{4, 3, 3, 2}
+	var gold [][]distinct.TupleID
+	for si := range goldSongs {
+		s := &goldSongs[si]
+		albums := artistAlbums[s.artist]
+		rng.Shuffle(len(albums), func(i, j int) { albums[i], albums[j] = albums[j], albums[i] })
+		n := appearances[si]
+		if n > len(albums) {
+			n = len(albums)
+		}
+		var cluster []distinct.TupleID
+		for _, album := range albums[:n] {
+			id, err := db.Insert("Tracks", "Forgotten", album)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.albums = append(s.albums, album)
+			cluster = append(cluster, id)
+		}
+		gold = append(gold, cluster)
+	}
+
+	eng, err := distinct.Open(db, distinct.Config{
+		RefRelation: "Tracks",
+		RefAttr:     "title",
+		MinSim:      0.02,
+		Train: distinct.TrainOptions{
+			NumPositive: 300, NumNegative: 300, Seed: 1,
+			// Rare titles: both words uncommon across the catalog.
+			MaxFirstFreq: 8, MaxLastFreq: 8,
+			Exclude: []string{"Forgotten"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := eng.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d titles, %d track references\n",
+		db.Relation("Titles").Size(), db.Relation("Tracks").Size())
+	fmt.Printf("trained on rare titles: %d pairs, SVM accuracy %.3f/%.3f\n\n",
+		rep.NumPositive+rep.NumNegative, rep.ResemAccuracy, rep.WalkAccuracy)
+
+	groups, err := eng.Disambiguate("Forgotten")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d tracks named \"Forgotten\" split into %d groups:\n\n",
+		len(eng.Refs("Forgotten")), len(groups))
+	for i, g := range groups {
+		fmt.Printf("group %d:\n", i+1)
+		for _, r := range g {
+			album := eng.DB().Tuple(r).Val("album")
+			at := eng.DB().LookupKey("Albums", album)
+			artist := eng.DB().Tuple(at).Val("artist")
+			fmt.Printf("  on %-28s by %s\n", album, artist)
+		}
+	}
+
+	var goldMapped [][]distinct.TupleID
+	for _, c := range gold {
+		goldMapped = append(goldMapped, eng.MapRefs(c))
+	}
+	m, err := distinct.Score(groups, goldMapped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nground truth: 4 songs; %s\n", m)
+}

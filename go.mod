@@ -1,0 +1,3 @@
+module distinct
+
+go 1.22

@@ -1,0 +1,308 @@
+// Package cluster implements the agglomerative hierarchical clustering of
+// DISTINCT (Section 4). Each reference starts as its own cluster; the most
+// similar pair of clusters is merged repeatedly until the best similarity
+// falls below a threshold (min-sim).
+//
+// Cluster-pair similarity is a composite measure: the geometric average of
+//
+//   - the Average-Link set resemblance between the clusters (the mean of the
+//     learned resemblance over all cross-cluster reference pairs), and
+//   - the collective random walk probability between the clusters (walking
+//     from a uniformly chosen reference of one cluster to any reference of
+//     the other, symmetrised).
+//
+// The geometric average keeps one measure from drowning out the other when
+// their scales differ (Section 4.1). Alternative measures — each measure
+// alone, arithmetic combination, single/complete link — are provided for the
+// paper's Figure 4 variants and for ablation benchmarks.
+//
+// All per-pair statistics (sums, minima, maxima of the base similarities)
+// are aggregable: merging clusters C1 and C2 derives every (C3, Ci) entry
+// from the (C1, Ci) and (C2, Ci) entries in O(1), the incremental
+// computation of Section 4.2.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PairSim supplies the base similarities between two references, identified
+// by dense indexes 0..n-1.
+type PairSim interface {
+	// Resem returns the combined set resemblance between references i and j.
+	// It must be symmetric.
+	Resem(i, j int) float64
+	// Walk returns the directed random walk probability from i to j.
+	Walk(i, j int) float64
+}
+
+// Measure selects how cluster-pair similarity is derived from the base
+// similarities.
+type Measure int
+
+const (
+	// Combined is DISTINCT's measure: geometric mean of Average-Link
+	// resemblance and collective walk probability.
+	Combined Measure = iota
+	// ResemOnly uses Average-Link set resemblance alone (the measure of
+	// Bhattacharya & Getoor's relational clustering, reference [1]).
+	ResemOnly
+	// WalkOnly uses collective random walk probability alone (the measure
+	// of Kalashnikov et al., reference [9]).
+	WalkOnly
+	// CombinedArithmetic replaces the geometric mean with an arithmetic
+	// mean; an ablation showing why the paper picked the geometric mean.
+	CombinedArithmetic
+	// SingleLink and CompleteLink use the maximum/minimum resemblance over
+	// cross-cluster pairs; ablations for the Section 4.1 discussion.
+	SingleLink
+	CompleteLink
+)
+
+// String names the measure.
+func (m Measure) String() string {
+	switch m {
+	case Combined:
+		return "combined"
+	case ResemOnly:
+		return "set-resemblance"
+	case WalkOnly:
+		return "random-walk"
+	case CombinedArithmetic:
+		return "combined-arithmetic"
+	case SingleLink:
+		return "single-link"
+	case CompleteLink:
+		return "complete-link"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Options configures a clustering run.
+type Options struct {
+	Measure Measure
+	// MinSim stops merging once the best cluster-pair similarity falls
+	// below it. The paper runs DISTINCT with min-sim 0.0005.
+	MinSim float64
+}
+
+// pairStats aggregates the base similarities between two clusters. All
+// fields merge additively or by min/max, so a cluster merge never rescans
+// reference pairs.
+type pairStats struct {
+	sumResem           float64
+	minResem, maxResem float64
+	walkAB, walkBA     float64 // directed sums, A = lower cluster id
+}
+
+func (p pairStats) merge(q pairStats) pairStats {
+	return pairStats{
+		sumResem: p.sumResem + q.sumResem,
+		minResem: math.Min(p.minResem, q.minResem),
+		maxResem: math.Max(p.maxResem, q.maxResem),
+		walkAB:   p.walkAB + q.walkAB,
+		walkBA:   p.walkBA + q.walkBA,
+	}
+}
+
+type clusterState struct {
+	members []int
+	alive   bool
+}
+
+type candidate struct {
+	sim  float64
+	a, b int // cluster ids, a < b
+}
+
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].sim != h[j].sim {
+		return h[i].sim > h[j].sim
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Merge records one agglomeration step: the members of the two clusters
+// merged and the similarity at which it happened. Merges arrive in
+// descending similarity order, so the trace is the dendrogram profile —
+// useful for choosing min-sim by inspecting where similarity collapses.
+type Merge struct {
+	A, B []int
+	Sim  float64
+}
+
+// Agglomerate clusters n references under the options and returns the
+// resulting partition as lists of reference indexes. Clusters are sorted by
+// their smallest member and members ascending, so output is deterministic.
+func Agglomerate(n int, ps PairSim, opts Options) [][]int {
+	out, _ := AgglomerateTrace(n, ps, opts, false)
+	return out
+}
+
+// AgglomerateTrace is Agglomerate that also returns the merge trace when
+// withTrace is set (tracing copies member slices, so it costs O(n²) extra
+// in the worst case).
+func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int, []Merge) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var trace []Merge
+	clusters := make([]clusterState, n, 2*n)
+	for i := range clusters {
+		clusters[i] = clusterState{members: []int{i}, alive: true}
+	}
+	stats := make(map[[2]int]pairStats, n*(n-1)/2)
+	h := make(candidateHeap, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r := ps.Resem(i, j)
+			st := pairStats{
+				sumResem: r, minResem: r, maxResem: r,
+				walkAB: ps.Walk(i, j), walkBA: ps.Walk(j, i),
+			}
+			stats[[2]int{i, j}] = st
+			if s := similarity(st, 1, 1, opts.Measure); s >= opts.MinSim {
+				h = append(h, candidate{sim: s, a: i, b: j})
+			}
+		}
+	}
+	heap.Init(&h)
+
+	for h.Len() > 0 {
+		c := heap.Pop(&h).(candidate)
+		if !clusters[c.a].alive || !clusters[c.b].alive {
+			continue // stale entry for a merged-away cluster
+		}
+		// Cluster ids are never reused and a pair's stats never change while
+		// both clusters are alive, so the popped similarity is current.
+		clusters[c.a].alive = false
+		clusters[c.b].alive = false
+		nid := len(clusters)
+		merged := append(append([]int(nil), clusters[c.a].members...), clusters[c.b].members...)
+		clusters = append(clusters, clusterState{members: merged, alive: true})
+		if withTrace {
+			trace = append(trace, Merge{
+				A:   append([]int(nil), clusters[c.a].members...),
+				B:   append([]int(nil), clusters[c.b].members...),
+				Sim: c.sim,
+			})
+		}
+
+		for oid := range clusters[:nid] {
+			if !clusters[oid].alive {
+				continue
+			}
+			sa := takeStats(stats, oid, c.a)
+			sb := takeStats(stats, oid, c.b)
+			ns := mergeOriented(sa, sb, oid, c.a, c.b)
+			stats[orient(oid, nid)] = ns
+			s := similarity(ns, len(clusters[oid].members), len(merged), opts.Measure)
+			if s >= opts.MinSim {
+				heap.Push(&h, candidate{sim: s, a: oid, b: nid})
+			}
+		}
+		delete(stats, [2]int{c.a, c.b})
+	}
+
+	var out [][]int
+	for _, c := range clusters {
+		if c.alive {
+			m := append([]int(nil), c.members...)
+			sort.Ints(m)
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out, trace
+}
+
+// orient returns the canonical (low, high) key for a cluster pair.
+func orient(a, b int) [2]int {
+	if a < b {
+		return [2]int{a, b}
+	}
+	return [2]int{b, a}
+}
+
+// takeStats removes and returns the stats between clusters x and y, oriented
+// so walkAB flows from min(x,y) to max(x,y).
+func takeStats(stats map[[2]int]pairStats, x, y int) pairStats {
+	key := orient(x, y)
+	st := stats[key]
+	delete(stats, key)
+	return st
+}
+
+// mergeOriented combines the (o, a) and (o, b) stats into the stats between
+// o and the merged cluster. The merged cluster always receives the highest
+// id, so the result's walkAB must flow o -> merged; both inputs are
+// normalised to that orientation first (stored walkAB flows low id -> high).
+func mergeOriented(sa, sb pairStats, o, a, b int) pairStats {
+	if o > a {
+		sa.walkAB, sa.walkBA = sa.walkBA, sa.walkAB
+	}
+	if o > b {
+		sb.walkAB, sb.walkBA = sb.walkBA, sb.walkAB
+	}
+	return sa.merge(sb)
+}
+
+// similarity computes the cluster-pair similarity from aggregated stats.
+// sizeA is the size of the lower-id cluster (walkAB flows from it).
+func similarity(st pairStats, sizeA, sizeB int, m Measure) float64 {
+	pairs := float64(sizeA * sizeB)
+	avgResem := st.sumResem / pairs
+	collWalk := (st.walkAB/float64(sizeA) + st.walkBA/float64(sizeB)) / 2
+	switch m {
+	case Combined:
+		return math.Sqrt(avgResem * collWalk)
+	case ResemOnly:
+		return avgResem
+	case WalkOnly:
+		return collWalk
+	case CombinedArithmetic:
+		return (avgResem + collWalk) / 2
+	case SingleLink:
+		return st.maxResem
+	case CompleteLink:
+		return st.minResem
+	default:
+		return math.Sqrt(avgResem * collWalk)
+	}
+}
+
+// Matrix is a dense PairSim backed by precomputed similarity matrices.
+type Matrix struct {
+	// R holds symmetric resemblance values; W holds directed walk values.
+	R, W [][]float64
+}
+
+// Resem implements PairSim.
+func (m Matrix) Resem(i, j int) float64 { return m.R[i][j] }
+
+// Walk implements PairSim.
+func (m Matrix) Walk(i, j int) float64 { return m.W[i][j] }
+
+// NewMatrix allocates an n×n zero matrix pair.
+func NewMatrix(n int) Matrix {
+	r := make([][]float64, n)
+	w := make([][]float64, n)
+	for i := range r {
+		r[i] = make([]float64, n)
+		w[i] = make([]float64, n)
+	}
+	return Matrix{R: r, W: w}
+}

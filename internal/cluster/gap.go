@@ -1,0 +1,108 @@
+package cluster
+
+import "math"
+
+// Threshold-free stopping (an extension beyond the paper): instead of a
+// global min-sim, cut each name's dendrogram at its largest similarity
+// collapse. Same-object merges happen at similarities orders of magnitude
+// above different-object merges (the merge profile of a typical name drops
+// from ~1e-2 to ~1e-6 in one step), so the largest ratio between
+// consecutive merge similarities marks the boundary.
+
+// gapFloor keeps ratios finite when merge similarities reach zero.
+const gapFloor = 1e-12
+
+// DefaultGapRatio is the minimum similarity collapse treated as a real
+// object boundary. Within one author the average-link similarity can
+// easily step down 10× between consecutive merges (a large group absorbing
+// a weakly connected reference), so only collapses of two orders of
+// magnitude or more override the global threshold.
+const DefaultGapRatio = 100
+
+// relFloor flattens the sub-noise region: similarities below
+// maxSim·relFloor are treated as equal, so the detected gap is the drop
+// *into* the noise region, not a drop between two negligible values (a
+// merge at 5e-6 followed by one at exactly 0 would otherwise always win).
+const relFloor = 1e-5
+
+// CutAtGap examines a full merge trace (produced with MinSim 0) and
+// returns the threshold implied by the largest similarity gap: the
+// geometric mean of the two merge similarities around the largest ratio
+// drop, with both values floored at maxSim·relFloor. With fewer than two
+// merges there is no interior gap and the returned threshold is 0 (merge
+// everything); a second return of false signals that no meaningful gap
+// exists (all merges within minRatio of each other), in which case the
+// caller should also merge everything.
+func CutAtGap(trace []Merge, minRatio float64) (float64, bool) {
+	if minRatio <= 1 {
+		minRatio = 10
+	}
+	if len(trace) < 2 {
+		return 0, false
+	}
+	maxSim := gapFloor
+	for _, m := range trace {
+		if m.Sim > maxSim {
+			maxSim = m.Sim
+		}
+	}
+	floor := maxSim * relFloor
+	if floor < gapFloor {
+		floor = gapFloor
+	}
+	clamp := func(v float64) float64 {
+		if v < floor {
+			return floor
+		}
+		return v
+	}
+	bestRatio := 0.0
+	cut := 0.0
+	for i := 0; i+1 < len(trace); i++ {
+		hi := clamp(trace[i].Sim)
+		lo := clamp(trace[i+1].Sim)
+		// Merge similarities are not strictly monotone; only downward
+		// steps are candidate boundaries.
+		if lo > hi {
+			continue
+		}
+		if r := hi / lo; r > bestRatio {
+			bestRatio = r
+			cut = geomMean(hi, lo)
+		}
+	}
+	if bestRatio < minRatio {
+		return 0, false
+	}
+	return cut, true
+}
+
+func geomMean(a, b float64) float64 {
+	if a < gapFloor {
+		a = gapFloor
+	}
+	if b < gapFloor {
+		b = gapFloor
+	}
+	return math.Sqrt(a * b)
+}
+
+// AgglomerateAuto clusters with a per-instance threshold: it builds the
+// full merge profile, and if a crisp similarity gap (at least minRatio
+// wide) exists, cuts there; otherwise it falls back to fallbackMinSim.
+// Names with a clean same-object/different-object boundary get their own
+// threshold; names whose profile decays gradually (large authors whose
+// average-link similarity shrinks smoothly) keep the globally tuned one —
+// gap detection alone misjudges exactly those, which is why the paper uses
+// a tuned global min-sim in the first place.
+func AgglomerateAuto(n int, ps PairSim, measure Measure, minRatio, fallbackMinSim float64) [][]int {
+	if n <= 0 {
+		return nil
+	}
+	_, trace := AgglomerateTrace(n, ps, Options{Measure: measure, MinSim: 0}, true)
+	cut, ok := CutAtGap(trace, minRatio)
+	if !ok {
+		cut = fallbackMinSim
+	}
+	return Agglomerate(n, ps, Options{Measure: measure, MinSim: cut})
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCutAtGapFindsCollapse(t *testing.T) {
+	trace := []Merge{
+		{Sim: 0.04}, {Sim: 0.03}, {Sim: 0.02},
+		{Sim: 0.00001}, {Sim: 0.000005},
+	}
+	cut, ok := CutAtGap(trace, 10)
+	if !ok {
+		t.Fatal("no gap found")
+	}
+	want := math.Sqrt(0.02 * 0.00001)
+	if math.Abs(cut-want) > 1e-12 {
+		t.Errorf("cut = %v, want %v", cut, want)
+	}
+	// The cut separates the same-object merges from the rest.
+	if cut >= 0.02 || cut <= 0.00001 {
+		t.Errorf("cut %v outside the gap", cut)
+	}
+}
+
+func TestCutAtGapNoGap(t *testing.T) {
+	flat := []Merge{{Sim: 0.03}, {Sim: 0.025}, {Sim: 0.02}}
+	if _, ok := CutAtGap(flat, 10); ok {
+		t.Error("gap found in flat profile")
+	}
+	if _, ok := CutAtGap([]Merge{{Sim: 0.5}}, 10); ok {
+		t.Error("gap found in single-merge profile")
+	}
+	if _, ok := CutAtGap(nil, 10); ok {
+		t.Error("gap found in empty profile")
+	}
+}
+
+func TestCutAtGapIgnoresUpwardSteps(t *testing.T) {
+	// Non-monotone profile: the upward step 0.001->0.5 must not register.
+	trace := []Merge{{Sim: 0.04}, {Sim: 0.001}, {Sim: 0.5}, {Sim: 0.4}}
+	cut, ok := CutAtGap(trace, 10)
+	if !ok {
+		t.Fatal("no gap found")
+	}
+	if math.Abs(cut-math.Sqrt(0.04*0.001)) > 1e-12 {
+		t.Errorf("cut = %v", cut)
+	}
+}
+
+func TestCutAtGapZeroSims(t *testing.T) {
+	trace := []Merge{{Sim: 0.01}, {Sim: 0}}
+	cut, ok := CutAtGap(trace, 10)
+	if !ok || cut <= 0 {
+		t.Errorf("zero-sim tail not handled: cut=%v ok=%v", cut, ok)
+	}
+}
+
+func TestAgglomerateAutoOnBlobs(t *testing.T) {
+	// Two tight blobs, weak cross links: auto cutting must find 2 clusters
+	// without any threshold input.
+	m := blobs(8, 4, 0.8, 0.0003)
+	got := AgglomerateAuto(8, m, Combined, 10, 0)
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("auto clustering = %v", got)
+	}
+	// A uniform blob has no gap; with fallback 0 it collapses to one
+	// cluster, with a high fallback it stays singletons.
+	uni := blobs(6, 3, 0.5, 0.45)
+	got = AgglomerateAuto(6, uni, Combined, 10, 0)
+	if len(got) != 1 {
+		t.Errorf("uniform blob split: %v", got)
+	}
+	got = AgglomerateAuto(6, uni, Combined, 10, 5)
+	if len(got) != 6 {
+		t.Errorf("high fallback merged: %v", got)
+	}
+	if AgglomerateAuto(0, m, Combined, 10, 0) != nil {
+		t.Error("n=0 returned clusters")
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"distinct/internal/cluster"
+	"distinct/internal/eval"
+	"distinct/internal/reldb"
+	"distinct/internal/trainset"
+)
+
+// NameGroups is the disambiguation outcome for one name.
+type NameGroups struct {
+	Name   string
+	Groups [][]reldb.TupleID
+}
+
+// BatchResult summarises a whole-database disambiguation pass.
+type BatchResult struct {
+	// NamesExamined counts the names with at least minRefs references.
+	NamesExamined int
+	// Split lists the names whose references were split into more than one
+	// group — the suspected homonyms — sorted by group count descending,
+	// then by name.
+	Split []NameGroups
+}
+
+// DisambiguateAll runs DISTINCT over every name with at least minRefs
+// references — the "clean the whole database" operation a downstream user
+// wants. Names whose references all collapse into one group are counted
+// but not returned; names that split are reported with their groups.
+//
+// minRefs below 2 is treated as 2 (a single reference cannot split).
+func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
+	if minRefs < 2 {
+		minRefs = 2
+	}
+	rs := e.db.Schema.Relation(e.cfg.RefRelation)
+	ai := rs.AttrIndex(e.cfg.RefAttr)
+	target := rs.Attrs[ai].FK
+	nameRel := e.db.Relation(target)
+	ki := nameRel.Schema.KeyIndex()
+
+	// Collect the work list, then prefetch every needed neighborhood once;
+	// after that the extractor cache is read-only and names can be
+	// clustered concurrently.
+	type job struct {
+		name string
+		refs []reldb.TupleID
+	}
+	var jobs []job
+	var allRefs []reldb.TupleID
+	for _, id := range nameRel.TupleIDs() {
+		name := e.db.Tuple(id).Vals[ki]
+		refs := e.RefsForName(name)
+		if len(refs) < minRefs {
+			continue
+		}
+		jobs = append(jobs, job{name: name, refs: refs})
+		allRefs = append(allRefs, refs...)
+	}
+	e.ext.Prefetch(allRefs, e.cfg.Workers)
+
+	results := make([][][]reldb.TupleID, len(jobs))
+	parallelFor(len(jobs), e.cfg.Workers, func(i int) {
+		results[i] = e.DisambiguateRefs(jobs[i].refs)
+	})
+
+	res := &BatchResult{NamesExamined: len(jobs)}
+	for i, j := range jobs {
+		if len(results[i]) > 1 {
+			res.Split = append(res.Split, NameGroups{Name: j.name, Groups: results[i]})
+		}
+	}
+	sort.Slice(res.Split, func(i, j int) bool {
+		if len(res.Split[i].Groups) != len(res.Split[j].Groups) {
+			return len(res.Split[i].Groups) > len(res.Split[j].Groups)
+		}
+		return res.Split[i].Name < res.Split[j].Name
+	})
+	return res, nil
+}
+
+// TuneResult reports a min-sim auto-tuning run.
+type TuneResult struct {
+	// MinSim is the best threshold found; F1 its average f-measure.
+	MinSim float64
+	F1     float64
+	// Cases is the number of synthetic validation cases used.
+	Cases int
+	// Grid and F1ByGrid give the full sweep, aligned by index.
+	Grid     []float64
+	F1ByGrid []float64
+}
+
+// TuneMinSim selects the clustering threshold without any labeled data, by
+// extending the paper's rare-name trick from training to validation: pairs
+// of rare names (each presumed to denote one real object) are synthetically
+// merged into pseudo-ambiguous names whose gold clustering is known — all
+// references of rare name A form one cluster, those of rare name B the
+// other. The threshold that best separates the synthetic cases on average
+// is returned and installed on the engine.
+//
+// maxCases bounds the number of synthetic cases (rare-name pairs); grid is
+// the thresholds to sweep (nil means the package default used by the
+// experiments harness). Train's rarity options and exclusions apply, so
+// evaluation names never leak into tuning.
+func (e *Engine) TuneMinSim(grid []float64, maxCases int, seed int64) (*TuneResult, error) {
+	if len(grid) == 0 {
+		grid = []float64{0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
+	}
+	if maxCases <= 0 {
+		maxCases = 50
+	}
+	rare, err := trainset.RareNames(e.db, e.cfg.RefRelation, e.cfg.RefAttr, e.cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	var usable []string
+	for _, name := range rare {
+		if len(e.db.Referencing(e.cfg.RefRelation, e.cfg.RefAttr, name)) >= 2 {
+			usable = append(usable, name)
+		}
+	}
+	if len(usable) < 2 {
+		return nil, fmt.Errorf("core: need at least two rare names with 2+ references to tune min-sim, have %d", len(usable))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(usable), func(i, j int) { usable[i], usable[j] = usable[j], usable[i] })
+	nCases := len(usable) / 2
+	if nCases > maxCases {
+		nCases = maxCases
+	}
+
+	sums := make([]float64, len(grid))
+	for c := 0; c < nCases; c++ {
+		a, b := usable[2*c], usable[2*c+1]
+		ra := e.RefsForName(a)
+		rb := e.RefsForName(b)
+		refs := append(append([]reldb.TupleID(nil), ra...), rb...)
+		gold := eval.Clustering{ra, rb}
+		m := e.Similarities(refs)
+		for gi, ms := range grid {
+			pred := ClusterMatrix(refs, m, e.cfg.Measure, ms)
+			metrics, err := eval.Evaluate(eval.Clustering(pred), gold)
+			if err != nil {
+				return nil, err
+			}
+			sums[gi] += metrics.F1
+		}
+	}
+
+	res := &TuneResult{Cases: nCases, Grid: grid, F1ByGrid: make([]float64, len(grid))}
+	best := -1.0
+	for gi := range grid {
+		f := sums[gi] / float64(nCases)
+		res.F1ByGrid[gi] = f
+		if f > best {
+			best = f
+			res.MinSim = grid[gi]
+			res.F1 = f
+		}
+	}
+	e.cfg.MinSim = res.MinSim
+	return res, nil
+}
+
+// DisambiguateRefsAuto clusters the references with a per-name threshold:
+// each name's dendrogram is cut at its largest similarity collapse
+// (cluster.CutAtGap) when a crisp gap exists, and at the engine's
+// configured min-sim otherwise — an extension beyond the paper's fixed
+// global threshold.
+func (e *Engine) DisambiguateRefsAuto(refs []reldb.TupleID) [][]reldb.TupleID {
+	if len(refs) == 0 {
+		return nil
+	}
+	m := e.Similarities(refs)
+	idx := cluster.AgglomerateAuto(len(refs), m, e.cfg.Measure, cluster.DefaultGapRatio, e.cfg.MinSim)
+	out := make([][]reldb.TupleID, len(idx))
+	for i, c := range idx {
+		out[i] = make([]reldb.TupleID, len(c))
+		for j, x := range c {
+			out[i][j] = refs[x]
+		}
+	}
+	return out
+}
+
+// DisambiguateNameAuto is DisambiguateRefsAuto over every reference
+// carrying the name.
+func (e *Engine) DisambiguateNameAuto(name string) ([][]reldb.TupleID, error) {
+	refs := e.RefsForName(name)
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("core: no references named %q", name)
+	}
+	return e.DisambiguateRefsAuto(refs), nil
+}
+
+// MergeStep is one step of a merge profile: the similarity at which two
+// clusters of the given sizes merged.
+type MergeStep struct {
+	Sim          float64
+	SizeA, SizeB int
+}
+
+// MergeProfile clusters the references all the way down to one cluster
+// (ignoring min-sim) and returns the similarity of every merge, first merge
+// first. The profile is the practical way to choose min-sim by hand: the
+// threshold belongs in the gap where the similarity collapses between
+// "same object" merges and "different object" merges.
+func (e *Engine) MergeProfile(refs []reldb.TupleID) []MergeStep {
+	if len(refs) < 2 {
+		return nil
+	}
+	m := e.Similarities(refs)
+	_, trace := cluster.AgglomerateTrace(len(refs), m, cluster.Options{
+		Measure: e.cfg.Measure, MinSim: 0,
+	}, true)
+	steps := make([]MergeStep, len(trace))
+	for i, mg := range trace {
+		steps[i] = MergeStep{Sim: mg.Sim, SizeA: len(mg.A), SizeB: len(mg.B)}
+	}
+	return steps
+}
+
+// NameAffinity returns the relational affinity between two names: the
+// composite cluster similarity (geometric mean of average resemblance and
+// collective walk probability) between the two names' full reference sets,
+// under the engine's current weights. Record linkage uses it to verify
+// that two similarly written names really denote one object — two
+// spellings of one person share collaborators and venues; two people who
+// merely have similar names do not.
+func (e *Engine) NameAffinity(a, b string) float64 {
+	ra, rb := e.RefsForName(a), e.RefsForName(b)
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	// The affinity is an average over cross pairs, so an evenly strided
+	// sample of each side estimates it without the quadratic blow-up on
+	// very common names (a 1000-reference "James Smith" would otherwise
+	// cost half a million pair computations per candidate).
+	ra, rb = strideSample(ra, affinitySampleCap), strideSample(rb, affinitySampleCap)
+	refs := append(append([]reldb.TupleID(nil), ra...), rb...)
+	m := e.Similarities(refs)
+	na := len(ra)
+	var sumResem, walkAB, walkBA float64
+	for i := 0; i < na; i++ {
+		for j := na; j < len(refs); j++ {
+			sumResem += m.R[i][j]
+			walkAB += m.W[i][j]
+			walkBA += m.W[j][i]
+		}
+	}
+	nb := float64(len(rb))
+	avgResem := sumResem / (float64(na) * nb)
+	collWalk := (walkAB/float64(na) + walkBA/nb) / 2
+	return math.Sqrt(avgResem * collWalk)
+}
+
+// affinitySampleCap bounds the per-name references NameAffinity compares.
+const affinitySampleCap = 48
+
+// strideSample returns up to max elements of refs at an even stride,
+// preserving order; deterministic, so affinities are reproducible.
+func strideSample(refs []reldb.TupleID, max int) []reldb.TupleID {
+	if len(refs) <= max {
+		return refs
+	}
+	out := make([]reldb.TupleID, max)
+	for i := 0; i < max; i++ {
+		out[i] = refs[i*len(refs)/max]
+	}
+	return out
+}
+
+// SetMinSim overrides the clustering threshold.
+func (e *Engine) SetMinSim(v float64) { e.cfg.MinSim = v }
+
+// MinSim returns the current clustering threshold.
+func (e *Engine) MinSim() float64 { return e.cfg.MinSim }
+
+// SetMeasure overrides the cluster similarity measure.
+func (e *Engine) SetMeasure(m cluster.Measure) { e.cfg.Measure = m }

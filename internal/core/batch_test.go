@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDisambiguateAllFindsInjectedHomonyms(t *testing.T) {
+	w := testWorld(t)
+	e := newTestEngine(t, w, true)
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.DisambiguateAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NamesExamined == 0 {
+		t.Fatal("no names examined")
+	}
+	found := map[string]int{}
+	for _, s := range res.Split {
+		found[s.Name] = len(s.Groups)
+		// Groups partition the name's references.
+		total := 0
+		for _, g := range s.Groups {
+			total += len(g)
+		}
+		if total != len(e.RefsForName(s.Name)) {
+			t.Errorf("%s: groups cover %d of %d refs", s.Name, total, len(e.RefsForName(s.Name)))
+		}
+	}
+	// Both injected homonyms must be detected as split names.
+	for _, name := range w.AmbiguousNames() {
+		if found[name] < 2 {
+			t.Errorf("injected homonym %q not detected (groups=%d)", name, found[name])
+		}
+	}
+	// Sorting: descending group count.
+	for i := 1; i < len(res.Split); i++ {
+		if len(res.Split[i].Groups) > len(res.Split[i-1].Groups) {
+			t.Error("split names not sorted by group count")
+		}
+	}
+	// minRefs below 2 is clamped, not an error.
+	if _, err := e.DisambiguateAll(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneMinSimSelectsSeparatingThreshold(t *testing.T) {
+	w := testWorld(t)
+	e := newTestEngine(t, w, true)
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.TuneMinSim(nil, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases == 0 || len(res.Grid) != len(res.F1ByGrid) {
+		t.Fatalf("result %+v malformed", res)
+	}
+	// The tuned threshold must be installed and its f-measure the maximum.
+	if e.MinSim() != res.MinSim {
+		t.Error("tuned threshold not installed")
+	}
+	for gi, f := range res.F1ByGrid {
+		if f > res.F1 {
+			t.Errorf("grid[%d]=%v has f %v > reported best %v", gi, res.Grid[gi], f, res.F1)
+		}
+		if f < 0 || f > 1 {
+			t.Errorf("f-measure %v out of range", f)
+		}
+	}
+	// On synthetic rare-name pairs the engine should separate well: the
+	// best threshold's average f-measure must be high.
+	if res.F1 < 0.8 {
+		t.Errorf("tuned f-measure %v too low", res.F1)
+	}
+	// A custom grid is respected.
+	res2, err := e.TuneMinSim([]float64{0.5, 1.0}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MinSim != 0.5 && res2.MinSim != 1.0 {
+		t.Errorf("tuned min-sim %v not from the custom grid", res2.MinSim)
+	}
+}
+
+func TestTuneMinSimFailsWithoutRareNames(t *testing.T) {
+	w := testWorld(t)
+	cfg := engineConfig(w, true)
+	cfg.Train.MaxFirstFreq = 1
+	cfg.Train.MaxLastFreq = 1
+	// Exclude everything by making rarity unsatisfiable for names with refs.
+	cfg.Train.MinRefs = 2
+	e, err := NewEngine(w.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TuneMinSim(nil, 10, 1); err == nil {
+		// Thresholds of 1/1 can still admit names; only fail when truly none.
+		t.Skip("world still has ultra-rare names; nothing to assert")
+	}
+}
+
+func TestSetMeasureAndMinSim(t *testing.T) {
+	w := testWorld(t)
+	e := newTestEngine(t, w, false)
+	e.SetMinSim(0.123)
+	if e.MinSim() != 0.123 {
+		t.Error("SetMinSim did not stick")
+	}
+}
+
+func TestNameAffinityAndSampling(t *testing.T) {
+	w := testWorld(t)
+	e := newTestEngine(t, w, true)
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// Affinity of an ambiguous name with itself is positive (its refs share
+	// linkage); with a missing name it is zero.
+	if got := e.NameAffinity("Wei Wang", "Wei Wang"); got <= 0 {
+		t.Errorf("self affinity = %v", got)
+	}
+	if e.NameAffinity("Wei Wang", "No Such Name") != 0 {
+		t.Error("missing-name affinity not zero")
+	}
+	// strideSample: identity below the cap, even coverage above it.
+	refs := e.RefsForName("Wei Wang")
+	if got := strideSample(refs, len(refs)+1); len(got) != len(refs) {
+		t.Error("sample below cap changed length")
+	}
+	s := strideSample(refs, 5)
+	if len(s) != 5 {
+		t.Fatalf("sample = %d", len(s))
+	}
+	if s[0] != refs[0] {
+		t.Error("stride sample does not start at the first reference")
+	}
+	seen := map[int32]bool{}
+	for _, r := range s {
+		if seen[int32(r)] {
+			t.Error("stride sample repeated a reference")
+		}
+		seen[int32(r)] = true
+	}
+}

@@ -1,0 +1,502 @@
+// Package core implements the DISTINCT methodology end to end (Yin, Han,
+// Yu; ICDE 2007): given a relational database and a relation containing
+// references that share names, it
+//
+//  1. expands attribute values into tuples (Section 2.1),
+//  2. enumerates the join paths from the reference relation,
+//  3. optionally learns one weight per join path for each of the two
+//     similarity measures, using an SVM over an automatically constructed
+//     training set (Section 3),
+//  4. computes pairwise similarities between same-named references —
+//     weighted set resemblance and weighted random walk probability — and
+//  5. groups the references with agglomerative clustering under the
+//     composite measure (Section 4).
+//
+// The package is the engine; the public façade for library users is the
+// repository root package distinct.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distinct/internal/cluster"
+	"distinct/internal/reldb"
+	"distinct/internal/sim"
+	"distinct/internal/svm"
+	"distinct/internal/trainset"
+)
+
+// Config tells the engine where the references live and how to process
+// them. Zero-valued fields take the documented defaults.
+type Config struct {
+	// RefRelation and RefAttr locate the references to disambiguate, e.g.
+	// Publish.author: RefAttr must be a foreign key to the relation keyed by
+	// the shared names.
+	RefRelation, RefAttr string
+
+	// SkipExpand lists "Relation.attr" attributes excluded from
+	// attribute-value expansion (free text such as paper titles).
+	SkipExpand []string
+
+	// MaxPathLen caps join-path length. Default 4.
+	MaxPathLen int
+
+	// Supervised selects SVM-learned join-path weights (the full DISTINCT);
+	// when false every path gets the same weight, giving the unsupervised
+	// variants of the paper's Figure 4.
+	Supervised bool
+
+	// Measure selects the cluster similarity measure. Default
+	// cluster.Combined (DISTINCT's composite measure).
+	Measure cluster.Measure
+
+	// MinSim is the clustering stop threshold. The paper runs DISTINCT with
+	// min-sim 0.0005 on its unnormalised learned weights; this engine
+	// normalises path weights to sum 1, which shifts the similarity scale,
+	// so the equivalent default here is DefaultMinSim.
+	MinSim float64
+
+	// Train configures automatic training-set construction.
+	Train trainset.Options
+
+	// SVM configures the linear SVM solver.
+	SVM svm.Options
+
+	// Workers bounds the goroutines used for feature extraction (the
+	// dominant cost). 0 means GOMAXPROCS; 1 forces sequential execution.
+	Workers int
+}
+
+// DefaultMinSim is the default clustering threshold. It plays the role of
+// the paper's min-sim = 0.0005: the absolute value differs because this
+// engine normalises the learned path weights to sum 1 (the paper's raw SVM
+// weights are larger), which rescales all similarities by a constant.
+const DefaultMinSim = 0.01
+
+func (c Config) withDefaults() Config {
+	if c.MaxPathLen <= 0 {
+		c.MaxPathLen = 4
+	}
+	if c.MinSim == 0 {
+		c.MinSim = DefaultMinSim
+	}
+	return c
+}
+
+// Timings records how long each pipeline stage took; the experiments
+// harness reports them next to the paper's 62.1 s figure.
+type Timings struct {
+	Expand     time.Duration
+	Enumerate  time.Duration
+	TrainSet   time.Duration
+	Features   time.Duration
+	TrainSVM   time.Duration
+	TotalTrain time.Duration
+}
+
+// TrainReport summarises a training run.
+type TrainReport struct {
+	NumPaths      int
+	NumPositive   int
+	NumNegative   int
+	NumRareNames  int
+	ResemAccuracy float64 // training accuracy of the resemblance model
+	WalkAccuracy  float64
+	ResemWeights  []float64 // per-path, clipped and normalised
+	WalkWeights   []float64
+	Timings       Timings
+}
+
+// Engine is a ready-to-use DISTINCT instance over one database.
+type Engine struct {
+	cfg   Config
+	db    *reldb.Database // attribute-expanded
+	idMap map[reldb.TupleID]reldb.TupleID
+	paths []reldb.JoinPath
+	ext   *sim.Extractor
+
+	resemW []float64 // per-path weights, non-negative, sum 1
+	walkW  []float64
+
+	timings Timings
+}
+
+// NewEngine expands the database, enumerates join paths, and installs
+// uniform path weights (call Train to replace them with learned weights).
+// The input database is not modified.
+func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	rs := db.Schema.Relation(cfg.RefRelation)
+	if rs == nil {
+		return nil, fmt.Errorf("core: unknown reference relation %q", cfg.RefRelation)
+	}
+	ai := rs.AttrIndex(cfg.RefAttr)
+	if ai < 0 {
+		return nil, fmt.Errorf("core: relation %q has no attribute %q", cfg.RefRelation, cfg.RefAttr)
+	}
+	if rs.Attrs[ai].FK == "" {
+		return nil, fmt.Errorf("core: reference attribute %s.%s must be a foreign key to the name relation", cfg.RefRelation, cfg.RefAttr)
+	}
+
+	t0 := time.Now()
+	ex, idMap, err := reldb.ExpandAttributes(db, cfg.SkipExpand...)
+	if err != nil {
+		return nil, fmt.Errorf("core: attribute expansion: %w", err)
+	}
+	expandDur := time.Since(t0)
+
+	t0 = time.Now()
+	paths := reldb.EnumerateJoinPaths(ex.Schema, cfg.RefRelation, reldb.EnumerateOptions{
+		MaxLen: cfg.MaxPathLen,
+		ExcludeFirst: []reldb.Step{
+			{Rel: cfg.RefRelation, Attr: cfg.RefAttr, Forward: true},
+		},
+	})
+	enumDur := time.Since(t0)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: no join paths from %s within length %d", cfg.RefRelation, cfg.MaxPathLen)
+	}
+
+	e := &Engine{
+		cfg:   cfg,
+		db:    ex,
+		idMap: idMap,
+		paths: paths,
+		ext:   sim.NewExtractor(ex, paths),
+	}
+	e.timings.Expand = expandDur
+	e.timings.Enumerate = enumDur
+	e.SetUniformWeights()
+	return e, nil
+}
+
+// DB returns the attribute-expanded database the engine works on.
+func (e *Engine) DB() *reldb.Database { return e.db }
+
+// Paths returns the enumerated join paths in weight order.
+func (e *Engine) Paths() []reldb.JoinPath { return e.paths }
+
+// Weights returns the current per-path weights (resemblance, walk).
+func (e *Engine) Weights() (resem, walk []float64) {
+	return append([]float64(nil), e.resemW...), append([]float64(nil), e.walkW...)
+}
+
+// Timings returns stage durations observed so far.
+func (e *Engine) Timings() Timings { return e.timings }
+
+// MapRef translates a tuple ID of the original (pre-expansion) database
+// into the engine's database. IDs already belonging to the engine's
+// database are the caller's responsibility; unknown IDs map to themselves
+// only if present in the map, otherwise InvalidTuple.
+func (e *Engine) MapRef(id reldb.TupleID) reldb.TupleID {
+	if nid, ok := e.idMap[id]; ok {
+		return nid
+	}
+	return reldb.InvalidTuple
+}
+
+// MapRefs translates a slice of original tuple IDs.
+func (e *Engine) MapRefs(ids []reldb.TupleID) []reldb.TupleID {
+	out := make([]reldb.TupleID, len(ids))
+	for i, id := range ids {
+		out[i] = e.MapRef(id)
+	}
+	return out
+}
+
+// SetUniformWeights installs equal weights on every join path; this is the
+// "without supervised learning" configuration of Figure 4.
+func (e *Engine) SetUniformWeights() {
+	n := len(e.paths)
+	e.resemW = make([]float64, n)
+	e.walkW = make([]float64, n)
+	for i := range e.resemW {
+		e.resemW[i] = 1 / float64(n)
+		e.walkW[i] = 1 / float64(n)
+	}
+}
+
+// SetWeights installs explicit per-path weights (clipped at zero and
+// normalised to sum 1). Mostly useful for tests and ablations.
+func (e *Engine) SetWeights(resem, walk []float64) error {
+	if len(resem) != len(e.paths) || len(walk) != len(e.paths) {
+		return fmt.Errorf("core: weight vectors must have %d entries", len(e.paths))
+	}
+	e.resemW = normalize(resem)
+	e.walkW = normalize(walk)
+	return nil
+}
+
+// normalize clips negatives to zero and scales to sum 1 (uniform if all
+// weights vanish).
+func normalize(w []float64) []float64 {
+	out := make([]float64, len(w))
+	sum := 0.0
+	for i, v := range w {
+		if v > 0 {
+			out[i] = v
+			sum += v
+		}
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Train builds the automatic training set, learns SVM models for both
+// similarity measures, and installs the learned path weights. If the
+// engine's configuration is unsupervised, Train still reports the would-be
+// models but leaves uniform weights in place.
+func (e *Engine) Train() (*TrainReport, error) {
+	total := time.Now()
+	t0 := time.Now()
+	ts, err := trainset.Build(e.db, e.cfg.RefRelation, e.cfg.RefAttr, e.cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("core: training set: %w", err)
+	}
+	e.timings.TrainSet = time.Since(t0)
+
+	t0 = time.Now()
+	refs := make([]reldb.TupleID, 0, 2*len(ts.Pairs))
+	for _, p := range ts.Pairs {
+		refs = append(refs, p.R1, p.R2)
+	}
+	e.ext.Prefetch(refs, e.cfg.Workers)
+	resemEx := make([]svm.Example, len(ts.Pairs))
+	walkEx := make([]svm.Example, len(ts.Pairs))
+	parallelFor(len(ts.Pairs), e.cfg.Workers, func(i int) {
+		p := ts.Pairs[i]
+		resemEx[i] = svm.Example{X: e.ext.ResemVector(p.R1, p.R2), Y: p.Label}
+		walkEx[i] = svm.Example{X: e.ext.WalkVector(p.R1, p.R2), Y: p.Label}
+	})
+	e.timings.Features = time.Since(t0)
+
+	// Per-path similarities span orders of magnitude; scale each feature to
+	// [0,1] for training, then fold the scale factors back into the weights
+	// so they apply to raw similarities at clustering time.
+	t0 = time.Now()
+	resemScaler := svm.FitScaler(resemEx)
+	walkScaler := svm.FitScaler(walkEx)
+	resemScaled := resemScaler.Transform(resemEx)
+	walkScaled := walkScaler.Transform(walkEx)
+	resemModel, err := svm.TrainDCD(resemScaled, e.cfg.SVM)
+	if err != nil {
+		return nil, fmt.Errorf("core: resemblance SVM: %w", err)
+	}
+	walkModel, err := svm.TrainDCD(walkScaled, e.cfg.SVM)
+	if err != nil {
+		return nil, fmt.Errorf("core: walk SVM: %w", err)
+	}
+	e.timings.TrainSVM = time.Since(t0)
+	e.timings.TotalTrain = time.Since(total)
+
+	rep := &TrainReport{
+		NumPaths:      len(e.paths),
+		NumPositive:   ts.NumPositive,
+		NumNegative:   ts.NumNegative,
+		NumRareNames:  len(ts.RareNames),
+		ResemAccuracy: svm.Accuracy(resemModel, resemScaled),
+		WalkAccuracy:  svm.Accuracy(walkModel, walkScaled),
+		ResemWeights:  normalize(resemScaler.FoldWeights(resemModel.PositiveWeights())),
+		WalkWeights:   normalize(walkScaler.FoldWeights(walkModel.PositiveWeights())),
+		Timings:       e.timings,
+	}
+	if e.cfg.Supervised {
+		e.resemW = rep.ResemWeights
+		e.walkW = rep.WalkWeights
+	}
+	return rep, nil
+}
+
+// RefsForName returns the references carrying the given name, in the
+// engine's (expanded) database.
+func (e *Engine) RefsForName(name string) []reldb.TupleID {
+	src := e.db.Referencing(e.cfg.RefRelation, e.cfg.RefAttr, name)
+	return append([]reldb.TupleID(nil), src...)
+}
+
+// PathMatrices holds per-join-path pairwise similarities among a fixed
+// reference list: R[p][i][j] is the set resemblance along path p between
+// references i and j, W[p][i][j] the directed walk probability from i to j.
+// They are the expensive part of disambiguation; computing them once lets
+// callers re-combine them under many weightings (the Figure 4 variants and
+// the min-sim sweeps) without re-propagating.
+type PathMatrices struct {
+	R, W [][][]float64
+}
+
+// NumRefs returns the number of references the matrices cover.
+func (pm *PathMatrices) NumRefs() int {
+	if len(pm.R) == 0 {
+		return 0
+	}
+	return len(pm.R[0])
+}
+
+// PathSimilarities computes the per-path similarity matrices among refs.
+// Neighborhoods are prefetched and the pairwise rows computed in parallel
+// under Config.Workers.
+func (e *Engine) PathSimilarities(refs []reldb.TupleID) *PathMatrices {
+	n := len(refs)
+	pm := &PathMatrices{
+		R: make([][][]float64, len(e.paths)),
+		W: make([][][]float64, len(e.paths)),
+	}
+	for p := range e.paths {
+		pm.R[p] = make([][]float64, n)
+		pm.W[p] = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			pm.R[p][i] = make([]float64, n)
+			pm.W[p][i] = make([]float64, n)
+		}
+	}
+	e.ext.Prefetch(refs, e.cfg.Workers)
+	// Row i fills entries (i,j) and (j,i) for j > i: every matrix cell is
+	// written by exactly one row worker, so rows can run concurrently.
+	parallelFor(n, e.cfg.Workers, func(i int) {
+		ni := e.ext.Neighborhoods(refs[i])
+		for j := i + 1; j < n; j++ {
+			nj := e.ext.Neighborhoods(refs[j])
+			for p := range e.paths {
+				r := sim.Resemblance(ni[p], nj[p])
+				pm.R[p][i][j], pm.R[p][j][i] = r, r
+				pm.W[p][i][j] = sim.WalkProb(ni[p], nj[p])
+				pm.W[p][j][i] = sim.WalkProb(nj[p], ni[p])
+			}
+		}
+	})
+	return pm
+}
+
+// Combine folds per-path matrices into one similarity matrix under the
+// given path weights (resemblance and walk weights respectively).
+func Combine(pm *PathMatrices, resemW, walkW []float64) cluster.Matrix {
+	n := pm.NumRefs()
+	m := cluster.NewMatrix(n)
+	for p := range pm.R {
+		rw, ww := resemW[p], walkW[p]
+		if rw == 0 && ww == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				m.R[i][j] += rw * pm.R[p][i][j]
+				m.W[i][j] += ww * pm.W[p][i][j]
+			}
+		}
+	}
+	return m
+}
+
+// Similarities computes the pairwise combined similarities among refs under
+// the engine's current weights: R[i][j] is the weighted set resemblance,
+// W[i][j] the weighted directed walk probability from i to j.
+func (e *Engine) Similarities(refs []reldb.TupleID) cluster.Matrix {
+	n := len(refs)
+	m := cluster.NewMatrix(n)
+	e.ext.Prefetch(refs, e.cfg.Workers)
+	parallelFor(n, e.cfg.Workers, func(i int) {
+		ni := e.ext.Neighborhoods(refs[i])
+		for j := i + 1; j < n; j++ {
+			nj := e.ext.Neighborhoods(refs[j])
+			var r, wij, wji float64
+			for p := range e.paths {
+				if e.resemW[p] > 0 {
+					r += e.resemW[p] * sim.Resemblance(ni[p], nj[p])
+				}
+				if e.walkW[p] > 0 {
+					wij += e.walkW[p] * sim.WalkProb(ni[p], nj[p])
+					wji += e.walkW[p] * sim.WalkProb(nj[p], ni[p])
+				}
+			}
+			m.R[i][j], m.R[j][i] = r, r
+			m.W[i][j], m.W[j][i] = wij, wji
+		}
+	})
+	return m
+}
+
+// parallelFor runs body(i) for i in [0,n) on `workers` goroutines
+// (0 = GOMAXPROCS). body must write only to per-index state.
+func parallelFor(n, workers int, body func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ClusterMatrix clusters n references given a precombined similarity matrix
+// under the supplied measure and threshold; refs[i] corresponds to row i.
+func ClusterMatrix(refs []reldb.TupleID, m cluster.Matrix, measure cluster.Measure, minSim float64) [][]reldb.TupleID {
+	idx := cluster.Agglomerate(len(refs), m, cluster.Options{Measure: measure, MinSim: minSim})
+	out := make([][]reldb.TupleID, len(idx))
+	for i, c := range idx {
+		out[i] = make([]reldb.TupleID, len(c))
+		for j, x := range c {
+			out[i][j] = refs[x]
+		}
+	}
+	return out
+}
+
+// DisambiguateRefs clusters the given references (expanded-database IDs)
+// and returns groups of reference IDs, one group per inferred real object.
+func (e *Engine) DisambiguateRefs(refs []reldb.TupleID) [][]reldb.TupleID {
+	if len(refs) == 0 {
+		return nil
+	}
+	// With a positive threshold, references in different shared-neighbor
+	// components can never merge, so clustering per component is exact and
+	// avoids the quadratic pairwise stage across components.
+	if e.cfg.MinSim > 0 {
+		return e.disambiguateBlocked(refs)
+	}
+	return ClusterMatrix(refs, e.Similarities(refs), e.cfg.Measure, e.cfg.MinSim)
+}
+
+// DisambiguateName clusters every reference carrying the name.
+func (e *Engine) DisambiguateName(name string) ([][]reldb.TupleID, error) {
+	refs := e.RefsForName(name)
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("core: no references named %q", name)
+	}
+	return e.DisambiguateRefs(refs), nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPipelineReproducible: two engines built and trained identically on
+// the same world must produce effectively identical models and identical
+// disambiguations. (Neighborhoods are Go maps, so float accumulation order
+// can perturb last bits; weights are compared within 1e-9.)
+func TestPipelineReproducible(t *testing.T) {
+	w := testWorld(t)
+	build := func() *Engine {
+		e := newTestEngine(t, w, true)
+		if _, err := e.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1, e2 := build(), build()
+	r1, w1 := e1.Weights()
+	r2, w2 := e2.Weights()
+	for i := range r1 {
+		if math.Abs(r1[i]-r2[i]) > 1e-9 || math.Abs(w1[i]-w2[i]) > 1e-9 {
+			t.Fatalf("weights differ at path %d: %v/%v vs %v/%v", i, r1[i], w1[i], r2[i], w2[i])
+		}
+	}
+	for _, name := range w.AmbiguousNames() {
+		a, err := e1.DisambiguateName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e2.DisambiguateName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d groups across identical runs", name, len(a), len(b))
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				t.Fatalf("%s: group %d sizes differ", name, i)
+			}
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%s: group %d member %d differs", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainingSeedMatters: a different sampling seed produces a different
+// training set and hence (generally) different weights — guarding against
+// an accidentally ignored seed.
+func TestTrainingSeedMatters(t *testing.T) {
+	w := testWorld(t)
+	cfg := engineConfig(w, true)
+	e1, err := NewEngine(w.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Train(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Train.Seed = 999
+	e2, err := NewEngine(w.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Train(); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := e1.Weights()
+	r2, _ := e2.Weights()
+	same := true
+	for i := range r1 {
+		if math.Abs(r1[i]-r2[i]) > 1e-12 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different training seeds produced identical weights; is the seed plumbed through?")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestWorkersDoNotChangeResults: the engine must produce bit-identical
+// similarity matrices and clusterings regardless of the worker count.
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	w := testWorld(t)
+
+	run := func(workers int) ([][]float64, [][][]int32) {
+		cfg := engineConfig(w, false)
+		cfg.Workers = workers
+		e, err := NewEngine(w.DB, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := e.RefsForName("Wei Wang")
+		m := e.Similarities(refs)
+		var clusterings [][][]int32
+		for _, name := range w.AmbiguousNames() {
+			pred, err := e.DisambiguateName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c [][]int32
+			for _, g := range pred {
+				row := make([]int32, len(g))
+				for i, r := range g {
+					row[i] = int32(r)
+				}
+				c = append(c, row)
+			}
+			clusterings = append(clusterings, c)
+		}
+		return m.R, clusterings
+	}
+
+	r1, c1 := run(1)
+	r8, c8 := run(8)
+	// Neighborhoods are Go maps, so float accumulation order (and hence the
+	// last bits of a similarity) varies run to run regardless of worker
+	// count; compare within a tight tolerance.
+	for i := range r1 {
+		for j := range r1[i] {
+			if math.Abs(r1[i][j]-r8[i][j]) > 1e-12 {
+				t.Fatalf("similarity [%d][%d] differs: %v vs %v", i, j, r1[i][j], r8[i][j])
+			}
+		}
+	}
+	if !reflect.DeepEqual(c1, c8) {
+		t.Error("clusterings differ between 1 and 8 workers")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 100
+		out := make([]int, n)
+		parallelFor(n, workers, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, out[i])
+			}
+		}
+	}
+	// n = 0 must not hang or panic.
+	parallelFor(0, 4, func(int) { t.Fatal("body called for n=0") })
+}

@@ -1,0 +1,145 @@
+package dataio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"distinct/internal/dblp"
+	"distinct/internal/reldb"
+)
+
+func testWorld(t testing.TB) *dblp.World {
+	t.Helper()
+	cfg := dblp.DefaultConfig()
+	cfg.Communities = 3
+	cfg.AuthorsPerCommunity = 20
+	cfg.PapersPerAuthor = 2
+	cfg.Ambiguous = []dblp.AmbiguousName{
+		{Name: "Wei Wang", RefsPerAuthor: []int{5, 4}},
+	}
+	w, err := dblp.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	var buf bytes.Buffer
+	if err := SaveWorld(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := LoadWorld(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.NumPapers() != w.NumPapers() || w2.NumReferences() != w.NumReferences() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			w2.NumPapers(), w2.NumReferences(), w.NumPapers(), w.NumReferences())
+	}
+	if len(w2.Identities) != len(w.Identities) {
+		t.Fatal("identities differ")
+	}
+	// Ground truth round-trips.
+	refs1, refs2 := w.Refs("Wei Wang"), w2.Refs("Wei Wang")
+	if len(refs1) != len(refs2) {
+		t.Fatalf("refs %d vs %d", len(refs1), len(refs2))
+	}
+	g1, g2 := w.GoldClusters("Wei Wang"), w2.GoldClusters("Wei Wang")
+	if len(g1) != len(g2) {
+		t.Fatal("gold clusters differ")
+	}
+	for i := range g1 {
+		if len(g1[i]) != len(g2[i]) {
+			t.Fatal("gold cluster sizes differ")
+		}
+	}
+	// Tuple contents identical relation by relation.
+	for _, rs := range w.DB.Schema.Relations() {
+		r1, r2 := w.DB.Relation(rs.Name), w2.DB.Relation(rs.Name)
+		if r1.Size() != r2.Size() {
+			t.Fatalf("%s: %d vs %d tuples", rs.Name, r1.Size(), r2.Size())
+		}
+		for i := range r1.TupleIDs() {
+			v1 := w.DB.Tuple(r1.TupleIDs()[i]).Vals
+			v2 := w2.DB.Tuple(r2.TupleIDs()[i]).Vals
+			if !reflect.DeepEqual(v1, v2) {
+				t.Fatalf("%s tuple %d: %v vs %v", rs.Name, i, v1, v2)
+			}
+		}
+	}
+	// Config round-trips (drives AmbiguousNames).
+	if !reflect.DeepEqual(w2.AmbiguousNames(), w.AmbiguousNames()) {
+		t.Error("ambiguous names differ")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	w := testWorld(t)
+	path := t.TempDir() + "/world.json"
+	if err := SaveWorldFile(w, path); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := LoadWorldFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.NumReferences() != w.NumReferences() {
+		t.Error("file round trip lost references")
+	}
+	if _, err := LoadWorldFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadWorld(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadWorld(strings.NewReader(`{"format": 999}`)); err == nil {
+		t.Error("wrong format version accepted")
+	}
+	// Valid JSON but inconsistent ground truth.
+	if _, err := LoadWorld(strings.NewReader(`{
+		"format": 1,
+		"config": {},
+		"schema": [
+			{"name":"Authors","attrs":[{"name":"author","key":true}]},
+			{"name":"Publish","attrs":[{"name":"author","fk":"Authors"},{"name":"paper-key","fk":"Publications"}]},
+			{"name":"Publications","attrs":[{"name":"paper-key","key":true},{"name":"title"},{"name":"proc-key","fk":"Proceedings"}]},
+			{"name":"Proceedings","attrs":[{"name":"proc-key","key":true},{"name":"conference","fk":"Conferences"},{"name":"year"},{"name":"location"}]},
+			{"name":"Conferences","attrs":[{"name":"conference","key":true},{"name":"publisher"}]}
+		],
+		"tuples": {"Authors": [["a"]], "Publish": [["a","p"]], "Publications": [["p","t","pr"]], "Proceedings": [["pr","c","2000","x"]], "Conferences": [["c","ACM"]]},
+		"identities": [],
+		"refAuthor": [0]
+	}`)); err == nil {
+		t.Error("reference naming a missing identity accepted")
+	}
+}
+
+func TestAssembleValidation(t *testing.T) {
+	w := testWorld(t)
+	// Missing ground truth entry.
+	if _, err := dblp.Assemble(w.Config, w.DB, w.Identities, map[reldb.TupleID]dblp.AuthorID{}); err == nil {
+		t.Error("missing ground truth accepted")
+	}
+	// Name mismatch: point every reference at identity 0.
+	ra := make(map[reldb.TupleID]dblp.AuthorID, len(w.RefAuthor))
+	for k := range w.RefAuthor {
+		ra[k] = 0
+	}
+	if _, err := dblp.Assemble(w.Config, w.DB, w.Identities, ra); err == nil {
+		t.Error("ground truth with wrong names accepted")
+	}
+	// Out-of-range identity.
+	for k := range w.RefAuthor {
+		ra[k] = dblp.AuthorID(len(w.Identities) + 5)
+	}
+	if _, err := dblp.Assemble(w.Config, w.DB, w.Identities, ra); err == nil {
+		t.Error("out-of-range identity accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package dblp
+
+import (
+	"testing"
+
+	"distinct/internal/reldb"
+)
+
+func TestAssembleRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Communities = 3
+	cfg.AuthorsPerCommunity = 15
+	cfg.PapersPerAuthor = 2
+	cfg.Ambiguous = []AmbiguousName{{Name: "Wei Wang", RefsPerAuthor: []int{4, 3}}}
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reassemble from the parts a deserializer would hold.
+	w2, err := Assemble(w.Config, w.DB, w.Identities, w.RefAuthor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.NumPapers() != w.NumPapers() || w2.NumReferences() != w.NumReferences() {
+		t.Error("assembled world sizes differ")
+	}
+	if len(w2.Refs("Wei Wang")) != 7 {
+		t.Errorf("assembled refs = %d", len(w2.Refs("Wei Wang")))
+	}
+	if len(w2.GoldClusters("Wei Wang")) != 2 {
+		t.Error("assembled gold clusters differ")
+	}
+
+	// Missing reference relation.
+	empty := reldb.NewDatabase(reldb.MustSchema(
+		reldb.MustRelationSchema("Other", reldb.Attribute{Name: "k", Key: true})))
+	if _, err := Assemble(cfg, empty, w.Identities, w.RefAuthor); err == nil {
+		t.Error("database without Publish accepted")
+	}
+}

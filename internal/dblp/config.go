@@ -1,0 +1,217 @@
+// Package dblp generates synthetic bibliographic worlds shaped like the
+// DBLP database of the DISTINCT paper (Figure 2 schema: Authors, Publish,
+// Publications, Proceedings, Conferences), with the ground-truth identity of
+// every author reference retained.
+//
+// The real evaluation data — the DBLP dump with 127K authors and hand-labeled
+// gold clusters for ten ambiguous names — is proprietary-by-practicality
+// (the labels come from home pages and paper affiliations). The generator is
+// the substitution: it reproduces the structural properties DISTINCT
+// exploits (references to the same author share collaborators and venues;
+// different same-named authors live in different research communities) and
+// the noise that makes the problem hard (cross-community collaborations,
+// venues shared across communities, authors whose collaborations split into
+// weakly linked groups when they change affiliation).
+package dblp
+
+import "fmt"
+
+// AmbiguousName describes one injected name shared by several distinct
+// author identities, mirroring Table 1 of the paper.
+type AmbiguousName struct {
+	// Name is the shared full name, e.g. "Wei Wang".
+	Name string
+	// RefsPerAuthor gives one entry per identity: how many references
+	// (authorship tuples) that identity receives. len(RefsPerAuthor) is the
+	// number of identities sharing the name.
+	RefsPerAuthor []int
+}
+
+// NumAuthors returns the number of identities sharing the name.
+func (a AmbiguousName) NumAuthors() int { return len(a.RefsPerAuthor) }
+
+// NumRefs returns the total number of references to the name.
+func (a AmbiguousName) NumRefs() int {
+	n := 0
+	for _, r := range a.RefsPerAuthor {
+		n += r
+	}
+	return n
+}
+
+// Config controls world generation. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	Seed int64
+
+	// Communities is the number of research communities (areas). Authors,
+	// collaboration groups and most conferences live inside one community.
+	Communities int
+	// AuthorsPerCommunity is the number of ordinary (non-injected) author
+	// identities per community.
+	AuthorsPerCommunity int
+	// GroupSize is the mean size of a collaboration group (an advisor with
+	// students); papers are mostly written inside one group.
+	GroupSize int
+	// ConfsPerCommunity is the number of community-specific conferences.
+	ConfsPerCommunity int
+	// GeneralConfs is the number of broad conferences (WWW/CIKM-like) that
+	// attract papers from every community; they create the misleading
+	// venue-sharing linkages between same-named authors.
+	GeneralConfs int
+	// YearFrom and YearTo bound the proceedings years, inclusive.
+	YearFrom, YearTo int
+	// PapersPerAuthor is the mean number of papers an ordinary identity
+	// leads. Every paper contributes one reference per listed author.
+	PapersPerAuthor float64
+	// MaxCoauthors caps the coauthors added to a paper beyond the lead and
+	// the lead's core collaborators.
+	MaxCoauthors int
+	// CoreCollaborators is how many recurring collaborators (advisor,
+	// students) each identity has per collaboration group; they join the
+	// identity's papers with probability CoreCollabProb each. Recurring
+	// collaborators are what make two references to the same author share
+	// coauthors — the central signal DISTINCT exploits.
+	CoreCollaborators int
+	// CoreCollabProb is the probability that each core collaborator appears
+	// on a given paper of the identity.
+	CoreCollabProb float64
+	// CrossGroupProb is the probability that one coauthor slot is filled
+	// from outside the lead's group (same community).
+	CrossGroupProb float64
+	// CrossCommunityProb is the probability that one coauthor slot is filled
+	// from a different community entirely; these links are the false-positive
+	// bait for disambiguation.
+	CrossCommunityProb float64
+	// GeneralConfProb is the probability a paper appears in a general
+	// conference instead of a community conference.
+	GeneralConfProb float64
+	// HomeConfProb is the probability a non-general paper appears at its
+	// group's preferred home conference rather than a random conference of
+	// the community. Venue loyalty is what separates two same-named authors
+	// working in the same area.
+	HomeConfProb float64
+	// SplitIdentityProb is the probability that an injected ambiguous
+	// identity has two disjoint collaboration groups (an affiliation move),
+	// which produces the weakly-linked partitions the paper blames for
+	// recall loss (the "Michael Wagner" effect).
+	SplitIdentityProb float64
+	// CitationsPerPaper, when positive, gives each paper on average that
+	// many citations to earlier papers — preferentially the lead author's
+	// own (see SelfCiteProb), otherwise the community's. The paper's
+	// introduction names citations among the linkages DISTINCT exploits;
+	// zero (the default) leaves the Cites relation empty and preserves the
+	// calibration reported in EXPERIMENTS.md.
+	CitationsPerPaper int
+	// SelfCiteProb is the probability each citation targets the lead
+	// author's own earlier work rather than a community paper.
+	SelfCiteProb float64
+	// CareerSpanYears, when positive, confines each identity's papers to a
+	// random window of that many years inside [YearFrom, YearTo] — real
+	// authors publish in an era, which makes the publication-year linkage a
+	// weak but genuine signal instead of pure noise. Zero disables the
+	// window (papers spread over the full range), preserving the default
+	// calibration reported in EXPERIMENTS.md.
+	CareerSpanYears int
+
+	// Ambiguous lists the injected names with per-identity reference counts.
+	Ambiguous []AmbiguousName
+}
+
+// DefaultConfig returns a laptop-scale world whose ten ambiguous names have
+// exactly the author/reference profile of Table 1 of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                1,
+		Communities:         16,
+		AuthorsPerCommunity: 80,
+		GroupSize:           6,
+		ConfsPerCommunity:   3,
+		GeneralConfs:        3,
+		YearFrom:            1990,
+		YearTo:              2006,
+		PapersPerAuthor:     4,
+		MaxCoauthors:        2,
+		CoreCollaborators:   3,
+		CoreCollabProb:      0.65,
+		CrossGroupProb:      0.25,
+		CrossCommunityProb:  0.05,
+		GeneralConfProb:     0.15,
+		HomeConfProb:        0.6,
+		SplitIdentityProb:   0.2,
+		Ambiguous:           Table1Names(),
+	}
+}
+
+// Table1Names reproduces the #authors/#refs profile of Table 1 of the paper:
+// (name, #authors, #refs) = Hui Fang 3/9, Ajay Gupta 4/16,
+// Joseph Hellerstein 2/151, Rakesh Kumar 2/36, Michael Wagner 5/29,
+// Bing Liu 6/89, Jim Smith 3/19, Lei Wang 13/55, Wei Wang 14/143,
+// Bin Yu 5/44. Per-identity counts follow a skewed split like the real
+// names (e.g. the paper's Figure 5 shows Wei Wang split 57/31/19/5/…).
+func Table1Names() []AmbiguousName {
+	return []AmbiguousName{
+		{Name: "Hui Fang", RefsPerAuthor: []int{4, 3, 2}},
+		{Name: "Ajay Gupta", RefsPerAuthor: []int{7, 4, 3, 2}},
+		{Name: "Joseph Hellerstein", RefsPerAuthor: []int{108, 43}},
+		{Name: "Rakesh Kumar", RefsPerAuthor: []int{24, 12}},
+		{Name: "Michael Wagner", RefsPerAuthor: []int{10, 8, 5, 4, 2}},
+		{Name: "Bing Liu", RefsPerAuthor: []int{36, 22, 14, 9, 5, 3}},
+		{Name: "Jim Smith", RefsPerAuthor: []int{9, 6, 4}},
+		{Name: "Lei Wang", RefsPerAuthor: []int{12, 8, 6, 5, 4, 4, 3, 3, 3, 2, 2, 2, 1}},
+		{Name: "Wei Wang", RefsPerAuthor: []int{57, 31, 19, 5, 5, 4, 4, 3, 3, 3, 3, 2, 2, 2}},
+		{Name: "Bin Yu", RefsPerAuthor: []int{18, 11, 7, 5, 3}},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Communities <= 0:
+		return fmt.Errorf("dblp: Communities must be positive")
+	case c.AuthorsPerCommunity < 2:
+		return fmt.Errorf("dblp: AuthorsPerCommunity must be at least 2")
+	case c.GroupSize < 2:
+		return fmt.Errorf("dblp: GroupSize must be at least 2")
+	case c.ConfsPerCommunity <= 0:
+		return fmt.Errorf("dblp: ConfsPerCommunity must be positive")
+	case c.GeneralConfs < 0:
+		return fmt.Errorf("dblp: GeneralConfs must be non-negative")
+	case c.YearTo < c.YearFrom:
+		return fmt.Errorf("dblp: YearTo before YearFrom")
+	case c.PapersPerAuthor <= 0:
+		return fmt.Errorf("dblp: PapersPerAuthor must be positive")
+	case c.MaxCoauthors < 1:
+		return fmt.Errorf("dblp: MaxCoauthors must be at least 1")
+	case c.CoreCollaborators < 0:
+		return fmt.Errorf("dblp: CoreCollaborators must be non-negative")
+	case c.CareerSpanYears < 0:
+		return fmt.Errorf("dblp: CareerSpanYears must be non-negative")
+	case c.CitationsPerPaper < 0:
+		return fmt.Errorf("dblp: CitationsPerPaper must be non-negative")
+	case c.SelfCiteProb < 0 || c.SelfCiteProb > 1:
+		return fmt.Errorf("dblp: SelfCiteProb out of [0,1]")
+	}
+	if c.GeneralConfProb+c.HomeConfProb > 1 {
+		return fmt.Errorf("dblp: GeneralConfProb + HomeConfProb exceeds 1")
+	}
+	for _, p := range []float64{c.CrossGroupProb, c.CrossCommunityProb, c.GeneralConfProb, c.HomeConfProb, c.SplitIdentityProb, c.CoreCollabProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("dblp: probability %v out of [0,1]", p)
+		}
+	}
+	for _, a := range c.Ambiguous {
+		if a.Name == "" {
+			return fmt.Errorf("dblp: ambiguous name with empty Name")
+		}
+		if len(a.RefsPerAuthor) == 0 {
+			return fmt.Errorf("dblp: ambiguous name %q has no identities", a.Name)
+		}
+		for _, r := range a.RefsPerAuthor {
+			if r < 1 {
+				return fmt.Errorf("dblp: ambiguous name %q has an identity with %d refs", a.Name, r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+package dblp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distinct/internal/reldb"
+)
+
+// smallConfig is a fast world for tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Communities = 4
+	cfg.AuthorsPerCommunity = 30
+	cfg.PapersPerAuthor = 3
+	cfg.Ambiguous = []AmbiguousName{
+		{Name: "Wei Wang", RefsPerAuthor: []int{10, 6, 4}},
+		{Name: "Lei Wang", RefsPerAuthor: []int{5, 5}},
+	}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Communities = 0 },
+		func(c *Config) { c.AuthorsPerCommunity = 1 },
+		func(c *Config) { c.GroupSize = 1 },
+		func(c *Config) { c.ConfsPerCommunity = 0 },
+		func(c *Config) { c.GeneralConfs = -1 },
+		func(c *Config) { c.YearTo = c.YearFrom - 1 },
+		func(c *Config) { c.PapersPerAuthor = 0 },
+		func(c *Config) { c.MaxCoauthors = 0 },
+		func(c *Config) { c.CrossGroupProb = 1.5 },
+		func(c *Config) { c.CrossCommunityProb = -0.1 },
+		func(c *Config) { c.Ambiguous = []AmbiguousName{{Name: ""}} },
+		func(c *Config) { c.Ambiguous = []AmbiguousName{{Name: "X"}} },
+		func(c *Config) { c.Ambiguous = []AmbiguousName{{Name: "X", RefsPerAuthor: []int{0}}} },
+	}
+	for i, mut := range cases {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAmbiguousNameCounts(t *testing.T) {
+	a := AmbiguousName{Name: "X", RefsPerAuthor: []int{3, 2, 1}}
+	if a.NumAuthors() != 3 || a.NumRefs() != 6 {
+		t.Errorf("NumAuthors=%d NumRefs=%d", a.NumAuthors(), a.NumRefs())
+	}
+}
+
+func TestTable1Profile(t *testing.T) {
+	want := []struct {
+		name    string
+		authors int
+		refs    int
+	}{
+		{"Hui Fang", 3, 9}, {"Ajay Gupta", 4, 16}, {"Joseph Hellerstein", 2, 151},
+		{"Rakesh Kumar", 2, 36}, {"Michael Wagner", 5, 29}, {"Bing Liu", 6, 89},
+		{"Jim Smith", 3, 19}, {"Lei Wang", 13, 55}, {"Wei Wang", 14, 143},
+		{"Bin Yu", 5, 44},
+	}
+	names := Table1Names()
+	if len(names) != len(want) {
+		t.Fatalf("Table1Names has %d entries", len(names))
+	}
+	for i, w := range want {
+		if names[i].Name != w.name || names[i].NumAuthors() != w.authors || names[i].NumRefs() != w.refs {
+			t.Errorf("%s: got %d authors %d refs, want %d/%d",
+				names[i].Name, names[i].NumAuthors(), names[i].NumRefs(), w.authors, w.refs)
+		}
+	}
+}
+
+func TestGenerateGroundTruthConsistency(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Publish tuple has a ground-truth identity whose name matches.
+	pub := w.DB.Relation(ReferenceRelation)
+	if pub.Size() == 0 {
+		t.Fatal("no references generated")
+	}
+	for _, ref := range pub.TupleIDs() {
+		id, ok := w.RefAuthor[ref]
+		if !ok {
+			t.Fatalf("reference %d has no ground truth", ref)
+		}
+		if got := w.DB.Tuple(ref).Val("author"); got != w.Identities[id].Name {
+			t.Fatalf("reference %d: name %q but identity %q", ref, got, w.Identities[id].Name)
+		}
+	}
+	// Referential integrity: every FK resolves.
+	for _, rs := range w.DB.Schema.Relations() {
+		rel := w.DB.Relation(rs.Name)
+		for _, fi := range rs.ForeignKeys() {
+			target := rs.Attrs[fi].FK
+			for _, id := range rel.TupleIDs() {
+				v := w.DB.Tuple(id).Vals[fi]
+				if w.DB.LookupKey(target, v) == reldb.InvalidTuple {
+					t.Fatalf("%s tuple %d: dangling FK %s=%q", rs.Name, id, rs.Attrs[fi].Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateAmbiguousProfile(t *testing.T) {
+	cfg := smallConfig()
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, amb := range cfg.Ambiguous {
+		refs := w.Refs(amb.Name)
+		if len(refs) != amb.NumRefs() {
+			t.Errorf("%s: %d refs, want %d", amb.Name, len(refs), amb.NumRefs())
+		}
+		gold := w.GoldClusters(amb.Name)
+		if len(gold) != amb.NumAuthors() {
+			t.Errorf("%s: %d gold clusters, want %d", amb.Name, len(gold), amb.NumAuthors())
+		}
+		// Cluster sizes match the requested split (as a multiset).
+		sizes := make(map[int]int)
+		for _, c := range gold {
+			sizes[len(c)]++
+		}
+		want := make(map[int]int)
+		for _, r := range amb.RefsPerAuthor {
+			want[r]++
+		}
+		for k, v := range want {
+			if sizes[k] != v {
+				t.Errorf("%s: cluster size histogram %v, want %v", amb.Name, sizes, want)
+				break
+			}
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	w1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.NumPapers() != w2.NumPapers() || w1.NumReferences() != w2.NumReferences() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			w1.NumPapers(), w1.NumReferences(), w2.NumPapers(), w2.NumReferences())
+	}
+	// Spot-check: identical tuple contents for a sample.
+	for _, ref := range w1.Refs("Wei Wang") {
+		t1, t2 := w1.DB.Tuple(ref), w2.DB.Tuple(ref)
+		if t1.Val("paper-key") != t2.Val("paper-key") {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+	// A different seed changes the world.
+	cfg.Seed = 999
+	w3, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.NumReferences() == w1.NumReferences() && w3.NumPapers() == w1.NumPapers() {
+		// Sizes could coincide; compare a tuple stream sample.
+		same := true
+		for i, ref := range w1.Refs("Wei Wang") {
+			if w3.DB.Tuple(w3.Refs("Wei Wang")[i]).Val("paper-key") != w1.DB.Tuple(ref).Val("paper-key") {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical worlds")
+		}
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Communities = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("invalid config accepted by Generate")
+	}
+}
+
+func TestAmbiguousIdentitiesSpreadCommunities(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make(map[int]bool)
+	n := 0
+	for _, ident := range w.Identities {
+		if ident.Ambiguous && ident.Name == "Wei Wang" {
+			comms[ident.Community] = true
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("Wei Wang identities = %d, want 3", n)
+	}
+	if len(comms) < 2 {
+		t.Errorf("all Wei Wang identities in one community; disambiguation would be trivial or impossible")
+	}
+}
+
+func TestNameCountsAndHelpers(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := w.NameCounts()
+	byName := make(map[string]int, len(counts))
+	for _, nc := range counts {
+		byName[nc.Name] = nc.Identities
+	}
+	if byName["Wei Wang"] != 3 {
+		t.Errorf("Wei Wang identities = %d, want 3", byName["Wei Wang"])
+	}
+	names := w.AmbiguousNames()
+	if len(names) != 2 || names[0] != "Wei Wang" || names[1] != "Lei Wang" {
+		t.Errorf("AmbiguousNames = %v", names)
+	}
+	// Identity accessor round-trips.
+	ref := w.Refs("Wei Wang")[0]
+	id := w.RefAuthor[ref]
+	if got := w.Identity(id).Name; got != "Wei Wang" {
+		t.Errorf("Identity(%d).Name = %q", id, got)
+	}
+	if w.NumPapers() <= 0 || w.NumReferences() <= w.NumPapers() {
+		t.Errorf("papers=%d refs=%d look wrong", w.NumPapers(), w.NumReferences())
+	}
+}
+
+func TestReferenceEdgeAndSchema(t *testing.T) {
+	s := Schema()
+	e := ReferenceEdge()
+	if e.From(s) != ReferenceRelation || e.To(s) != "Authors" {
+		t.Errorf("ReferenceEdge endpoints %s -> %s", e.From(s), e.To(s))
+	}
+	// The schema must expand cleanly with titles skipped.
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, idMap, err := reldb.ExpandAttributes(w.DB, TitleAttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Relation(reldb.ValueRelationName("Proceedings", "year")) == nil {
+		t.Error("year expansion missing")
+	}
+	// The mapped reference tuples carry the same author value.
+	for _, ref := range w.Refs("Wei Wang")[:3] {
+		if got := ex.Tuple(idMap[ref]).Val("author"); got != "Wei Wang" {
+			t.Errorf("mapped ref author = %q", got)
+		}
+	}
+}
+
+// Property: for any seed, the generated world keeps ground truth consistent
+// and the ambiguous reference counts exact.
+func TestGenerateProperty(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Communities = 3
+	cfg.AuthorsPerCommunity = 15
+	cfg.PapersPerAuthor = 2
+	f := func(seed int64) bool {
+		c := cfg
+		c.Seed = seed
+		w, err := Generate(c)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, amb := range c.Ambiguous {
+			if len(w.Refs(amb.Name)) != amb.NumRefs() {
+				t.Logf("seed %d: %s refs %d != %d", seed, amb.Name, len(w.Refs(amb.Name)), amb.NumRefs())
+				return false
+			}
+			if len(w.GoldClusters(amb.Name)) != amb.NumAuthors() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCareerSpans(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CareerSpanYears = 5
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window constrains the papers an author LEADS (the first listed
+	// reference of each paper); coauthored papers follow the lead's window.
+	leadYears := make(map[AuthorID][]int)
+	seenPaper := make(map[string]bool)
+	for _, ref := range w.DB.Relation(ReferenceRelation).TupleIDs() {
+		paper := w.DB.Tuple(ref).Val("paper-key")
+		if seenPaper[paper] {
+			continue // not the lead reference
+		}
+		seenPaper[paper] = true
+		id := w.RefAuthor[ref]
+		pt := w.DB.LookupKey("Publications", paper)
+		proc := w.DB.Tuple(pt).Val("proc-key")
+		prt := w.DB.LookupKey("Proceedings", proc)
+		year := w.DB.Tuple(prt).Val("year")
+		y := 0
+		for _, c := range year {
+			y = y*10 + int(c-'0')
+		}
+		leadYears[id] = append(leadYears[id], y)
+	}
+	for id, years := range leadYears {
+		lo, hi := years[0], years[0]
+		for _, y := range years {
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+		if hi-lo >= cfg.CareerSpanYears {
+			t.Fatalf("author %d leads papers across %d years, window is %d", id, hi-lo+1, cfg.CareerSpanYears)
+		}
+	}
+	// Disabled (0) still validates and generates.
+	cfg.CareerSpanYears = 0
+	if _, err := Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.CareerSpanYears = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative span accepted")
+	}
+}
+
+func TestCitations(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CitationsPerPaper = 2
+	cfg.SelfCiteProb = 0.6
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cites := w.DB.Relation("Cites")
+	if cites.Size() == 0 {
+		t.Fatal("no citations generated")
+	}
+	// Citations resolve to real papers and never cite later papers
+	// (paper keys are sequential, so key order is time order).
+	for _, id := range cites.TupleIDs() {
+		t1 := w.DB.Tuple(id)
+		citing, cited := t1.Val("citing"), t1.Val("cited")
+		if w.DB.LookupKey("Publications", citing) == reldb.InvalidTuple ||
+			w.DB.LookupKey("Publications", cited) == reldb.InvalidTuple {
+			t.Fatal("dangling citation")
+		}
+		if cited >= citing {
+			t.Fatalf("paper %s cites non-earlier paper %s", citing, cited)
+		}
+	}
+	// Default config keeps the relation empty (calibration preserved).
+	w0, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0.DB.Relation("Cites").Size() != 0 {
+		t.Error("citations generated despite CitationsPerPaper=0")
+	}
+	// Validation.
+	cfg.CitationsPerPaper = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative citations accepted")
+	}
+	cfg.CitationsPerPaper = 1
+	cfg.SelfCiteProb = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad SelfCiteProb accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package dblp
+
+import "math/rand"
+
+// Name pools. First and last names are sampled with a Zipf-like skew so the
+// generated Authors relation has the frequency structure the automatic
+// training-set construction of DISTINCT (Section 3) relies on: common names
+// (high collision risk) and rare names (assumed unique and usable as free
+// training labels).
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Wei",
+	"Lei", "Jing", "Yan", "Li", "Min", "Hui", "Xin", "Bin", "Jun", "Ajay",
+	"Rakesh", "Sanjay", "Amit", "Ravi", "Anil", "Vijay", "Suresh", "Raj",
+	"Deepak", "Hans", "Klaus", "Jurgen", "Wolfgang", "Dieter", "Pierre",
+	"Jean", "Michel", "Alain", "Francois", "Akira", "Hiroshi", "Takeshi",
+	"Kenji", "Yuki", "Carlos", "Jose", "Luis", "Miguel", "Antonio",
+	"Andrei", "Sergei", "Dmitri", "Ivan", "Olga", "Chen", "Yong", "Hong",
+	"Feng", "Tao", "Ming", "Anna", "Eva", "Ingrid", "Marta", "Sofia",
+	"Erik", "Lars", "Sven", "Nils", "Per", "Marco", "Paolo", "Giovanni",
+	"Luca", "Andrea", "Daniel", "Matthew", "Andrew", "Kevin", "Brian",
+	"George", "Edward", "Ronald", "Timothy", "Jason", "Jeffrey", "Ryan",
+	"Gabor", "Istvan", "Zoltan", "Pavel", "Jan", "Piotr", "Marek",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Wang", "Li", "Zhang", "Liu", "Chen",
+	"Yang", "Huang", "Zhao", "Wu", "Zhou", "Xu", "Sun", "Ma", "Zhu", "Hu",
+	"Guo", "He", "Lin", "Gao", "Luo", "Gupta", "Kumar", "Sharma", "Singh",
+	"Patel", "Agarwal", "Rao", "Reddy", "Iyer", "Mehta", "Muller",
+	"Schmidt", "Schneider", "Fischer", "Weber", "Meyer", "Wagner", "Becker",
+	"Schulz", "Hoffmann", "Tanaka", "Suzuki", "Takahashi", "Watanabe",
+	"Ito", "Yamamoto", "Nakamura", "Kobayashi", "Kato", "Yoshida",
+	"Ivanov", "Petrov", "Sidorov", "Volkov", "Popov", "Rossi", "Russo",
+	"Ferrari", "Esposito", "Bianchi", "Andersson", "Johansson", "Karlsson",
+	"Nilsson", "Eriksson", "Dubois", "Moreau", "Laurent", "Simon",
+	"Michel", "Kim", "Park", "Lee", "Choi", "Jung", "Kang", "Cho", "Yoon",
+	"Jang", "Lim", "Fang", "Yu", "Han", "Pei", "Shi", "Lu", "Yuan", "Song",
+	"Jiang", "Yin", "Nagy", "Horvath", "Kovacs", "Novak", "Kowalski",
+}
+
+var affiliations = []string{
+	"UNC Chapel Hill", "UNSW Australia", "Fudan University", "SUNY Buffalo",
+	"Beijing Polytechnic", "NU Singapore", "Zhejiang University",
+	"SUNY Binghamton", "Purdue University", "Harbin University",
+	"Nanjing Normal", "Ningbo Tech", "Chongqing University",
+	"Beijing University", "UIUC", "Stanford", "MIT", "CMU", "Berkeley",
+	"University of Washington", "Georgia Tech", "UT Austin", "Wisconsin",
+	"Michigan", "Cornell", "Princeton", "ETH Zurich", "EPFL",
+	"Max Planck Institute", "TU Munich", "University of Tokyo",
+	"Kyoto University", "Tsinghua University", "Peking University",
+	"HKUST", "NTU Taiwan", "KAIST", "Seoul National", "IIT Bombay",
+	"IIT Delhi", "IBM Research", "Microsoft Research", "Bell Labs",
+	"HP Labs", "AT&T Research",
+}
+
+var publishers = []string{
+	"ACM", "IEEE", "Springer", "Elsevier", "Morgan Kaufmann", "USENIX",
+}
+
+var locations = []string{
+	"Athens", "Madison", "Seattle", "San Diego", "Tokyo", "Paris", "Rome",
+	"Sydney", "Beijing", "Shanghai", "Hong Kong", "Singapore", "Vienna",
+	"Berlin", "Cairo", "Toronto", "Vancouver", "Chicago", "Boston",
+	"San Francisco", "Edinburgh", "Istanbul", "Seoul", "Taipei", "Dallas",
+	"Baltimore", "Washington DC", "New York", "Trondheim", "Heraklion",
+}
+
+var confStems = []string{
+	"DB", "DM", "IR", "AI", "ML", "NET", "SEC", "ARCH", "OS", "PL", "SE",
+	"HCI", "VIS", "BIO", "THEORY",
+}
+
+var generalConfNames = []string{"WWW", "CIKM", "AAAI-GEN", "COMPSAC", "SAC"}
+
+var titleWords = []string{
+	"efficient", "scalable", "mining", "clustering", "indexing", "queries",
+	"streams", "graphs", "patterns", "learning", "approximate", "adaptive",
+	"distributed", "parallel", "incremental", "probabilistic", "relational",
+	"sequential", "frequent", "similarity", "search", "optimization",
+	"classification", "integration", "warehousing", "sensor", "networks",
+	"privacy", "security", "ranking", "retrieval", "semantics", "views",
+	"joins", "cubes", "trees", "hashing", "caching", "sampling", "skyline",
+}
+
+// zipfIndex draws an index in [0, n) with a Zipf-like skew: low indexes are
+// much more likely. s controls the skew; s≈1.1 gives a heavy head and a
+// long thin tail.
+func zipfIndex(rng *rand.Rand, n int) int {
+	z := rand.NewZipf(rng, 1.3, 1.0, uint64(n-1))
+	return int(z.Uint64())
+}
+
+// middleInitialProb is the fraction of authors carrying a middle initial
+// ("Wei K. Wang"). Initials multiply the name space the way they do in real
+// bibliographies: most full names become unique, and rare
+// first-name/last-name part combinations — the raw material of the
+// automatic training set — become plentiful.
+const middleInitialProb = 0.35
+
+// sampleName draws a "First Last" or "First M. Last" name with Zipf-skewed
+// part frequencies.
+func sampleName(rng *rand.Rand) (first, last string) {
+	first = firstNames[zipfIndex(rng, len(firstNames))]
+	last = lastNames[zipfIndex(rng, len(lastNames))]
+	if rng.Float64() < middleInitialProb {
+		last = string(rune('A'+rng.Intn(26))) + ". " + last
+	}
+	return first, last
+}

@@ -1,0 +1,615 @@
+package dblp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"distinct/internal/reldb"
+)
+
+// AuthorID identifies one real author identity in the generated world.
+// Several identities may share one name; that is the point.
+type AuthorID int
+
+// Identity is one real author: the ground-truth object behind references.
+type Identity struct {
+	ID          AuthorID
+	Name        string // full name; the Authors relation key
+	First, Last string
+	Affiliation string
+	Community   int
+	Ambiguous   bool // injected via Config.Ambiguous
+
+	// groups lists the collaboration groups the identity draws coauthors
+	// from. Ambiguous identities with an "affiliation move" have two.
+	groups []*group
+	// cores holds the identity's recurring collaborators, one set per group.
+	cores [][]AuthorID
+	// careerFrom/careerTo bound the identity's publication years when
+	// Config.CareerSpanYears is positive.
+	careerFrom, careerTo int
+}
+
+type group struct {
+	community int
+	members   []AuthorID // ordinary identities only
+	// homeConf is the venue the group publishes at preferentially; groups
+	// returning to the same venues is what lets DISTINCT tell apart two
+	// same-named authors working in the same area.
+	homeConf string
+}
+
+// World is a generated bibliographic database plus its ground truth.
+type World struct {
+	Config Config
+	DB     *reldb.Database
+
+	Identities []Identity
+	// RefAuthor maps every Publish tuple to the true identity it refers to.
+	RefAuthor map[reldb.TupleID]AuthorID
+
+	refsByName map[string][]reldb.TupleID
+	nPapers    int
+}
+
+// Schema returns the DBLP schema of Figure 2 of the paper.
+func Schema() *reldb.Schema {
+	return reldb.MustSchema(
+		reldb.MustRelationSchema("Authors", reldb.Attribute{Name: "author", Key: true}),
+		reldb.MustRelationSchema("Publish",
+			reldb.Attribute{Name: "author", FK: "Authors"},
+			reldb.Attribute{Name: "paper-key", FK: "Publications"},
+		),
+		reldb.MustRelationSchema("Publications",
+			reldb.Attribute{Name: "paper-key", Key: true},
+			reldb.Attribute{Name: "title"},
+			reldb.Attribute{Name: "proc-key", FK: "Proceedings"},
+		),
+		reldb.MustRelationSchema("Proceedings",
+			reldb.Attribute{Name: "proc-key", Key: true},
+			reldb.Attribute{Name: "conference", FK: "Conferences"},
+			reldb.Attribute{Name: "year"},
+			reldb.Attribute{Name: "location"},
+		),
+		reldb.MustRelationSchema("Conferences",
+			reldb.Attribute{Name: "conference", Key: true},
+			reldb.Attribute{Name: "publisher"},
+		),
+		// Citations are not drawn in the paper's Figure 2 but its
+		// introduction names them as a linkage DISTINCT exploits
+		// ("through their coauthors, coauthors of coauthors, and
+		// citations"); the relation is always present and populated when
+		// Config.CitationsPerPaper is positive.
+		reldb.MustRelationSchema("Cites",
+			reldb.Attribute{Name: "citing", FK: "Publications"},
+			reldb.Attribute{Name: "cited", FK: "Publications"},
+		),
+	)
+}
+
+// ReferenceRelation and ReferenceAttr locate the references DISTINCT
+// disambiguates: the author column of the authorship relation.
+const (
+	ReferenceRelation = "Publish"
+	ReferenceAttr     = "author"
+)
+
+// ReferenceEdge is the foreign-key edge through the reference attribute
+// itself; join-path enumeration must exclude it as the first step.
+func ReferenceEdge() reldb.Step {
+	return reldb.Step{Rel: ReferenceRelation, Attr: ReferenceAttr, Forward: true}
+}
+
+// TitleAttr names the free-text attribute that attribute expansion skips.
+const TitleAttr = "Publications.title"
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	w   *World
+
+	confsByCommunity [][]string // community -> conference keys
+	generalConfs     []string
+	authorTuples     map[string]bool // names already inserted into Authors
+	groupsByComm     [][]*group
+	ordinary         []AuthorID // ordinary identities, all communities
+
+	// Citation bookkeeping: earlier paper keys per lead identity and per
+	// community, so new papers can cite with the locality real citations
+	// have (self- and group-citations dominate).
+	papersByLead map[AuthorID][]string
+	papersByComm [][]string
+}
+
+// Generate builds a world from the configuration. Generation is
+// deterministic given Config.Seed.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		w: &World{
+			Config:     cfg,
+			DB:         reldb.NewDatabase(Schema()),
+			RefAuthor:  make(map[reldb.TupleID]AuthorID),
+			refsByName: make(map[string][]reldb.TupleID),
+		},
+		authorTuples: make(map[string]bool),
+		papersByLead: make(map[AuthorID][]string),
+	}
+	g.papersByComm = make([][]string, cfg.Communities)
+	g.makeConferences()
+	if err := g.makeOrdinaryIdentities(); err != nil {
+		return nil, err
+	}
+	g.makeGroups()
+	g.makeAmbiguousIdentities()
+	g.makeOrdinaryPapers()
+	g.makeAmbiguousPapers()
+	return g.w, nil
+}
+
+func (g *generator) makeConferences() {
+	db := g.w.DB
+	g.confsByCommunity = make([][]string, g.cfg.Communities)
+	for c := 0; c < g.cfg.Communities; c++ {
+		for i := 0; i < g.cfg.ConfsPerCommunity; i++ {
+			stem := confStems[(c*g.cfg.ConfsPerCommunity+i)%len(confStems)]
+			key := fmt.Sprintf("%s-%d.%d", stem, c, i)
+			db.MustInsert("Conferences", key, publishers[g.rng.Intn(len(publishers))])
+			g.confsByCommunity[c] = append(g.confsByCommunity[c], key)
+			g.makeProceedings(key)
+		}
+	}
+	for i := 0; i < g.cfg.GeneralConfs; i++ {
+		key := generalConfNames[i%len(generalConfNames)]
+		if i >= len(generalConfNames) {
+			key = fmt.Sprintf("%s-%d", key, i/len(generalConfNames))
+		}
+		db.MustInsert("Conferences", key, publishers[g.rng.Intn(len(publishers))])
+		g.generalConfs = append(g.generalConfs, key)
+		g.makeProceedings(key)
+	}
+}
+
+func (g *generator) makeProceedings(conf string) {
+	for y := g.cfg.YearFrom; y <= g.cfg.YearTo; y++ {
+		key := fmt.Sprintf("%s/%d", conf, y)
+		g.w.DB.MustInsert("Proceedings", key, conf,
+			fmt.Sprintf("%d", y), locations[g.rng.Intn(len(locations))])
+	}
+}
+
+// procKey returns the proceedings key for a conference and a random year
+// within [from, to].
+func (g *generator) procKey(conf string, from, to int) string {
+	y := from + g.rng.Intn(to-from+1)
+	return fmt.Sprintf("%s/%d", conf, y)
+}
+
+// career returns an identity's publication-year window: the whole
+// [YearFrom, YearTo] range unless CareerSpanYears is set.
+func (g *generator) career() (from, to int) {
+	from, to = g.cfg.YearFrom, g.cfg.YearTo
+	span := g.cfg.CareerSpanYears
+	if span <= 0 || span >= to-from+1 {
+		return from, to
+	}
+	start := from + g.rng.Intn(to-from+1-span)
+	return start, start + span - 1
+}
+
+func (g *generator) makeOrdinaryIdentities() error {
+	injected := make(map[string]bool, len(g.cfg.Ambiguous))
+	for _, a := range g.cfg.Ambiguous {
+		injected[a.Name] = true
+	}
+	for c := 0; c < g.cfg.Communities; c++ {
+		for i := 0; i < g.cfg.AuthorsPerCommunity; i++ {
+			var first, last, name string
+			for attempt := 0; ; attempt++ {
+				if attempt > 10000 {
+					return fmt.Errorf("dblp: cannot find a non-injected name after %d attempts", attempt)
+				}
+				first, last = sampleName(g.rng)
+				name = first + " " + last
+				if !injected[name] {
+					break
+				}
+			}
+			id := AuthorID(len(g.w.Identities))
+			cf, ct := g.career()
+			g.w.Identities = append(g.w.Identities, Identity{
+				ID: id, Name: name, First: first, Last: last,
+				Affiliation: affiliations[g.rng.Intn(len(affiliations))],
+				Community:   c,
+				careerFrom:  cf, careerTo: ct,
+			})
+			g.ordinary = append(g.ordinary, id)
+			g.insertAuthor(name)
+		}
+	}
+	return nil
+}
+
+func (g *generator) insertAuthor(name string) {
+	if !g.authorTuples[name] {
+		g.w.DB.MustInsert("Authors", name)
+		g.authorTuples[name] = true
+	}
+}
+
+func (g *generator) makeGroups() {
+	g.groupsByComm = make([][]*group, g.cfg.Communities)
+	start := 0
+	for c := 0; c < g.cfg.Communities; c++ {
+		ids := make([]AuthorID, g.cfg.AuthorsPerCommunity)
+		for i := range ids {
+			ids[i] = g.ordinary[start+i]
+		}
+		start += g.cfg.AuthorsPerCommunity
+		g.rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+		for lo := 0; lo < len(ids); {
+			hi := lo + g.cfg.GroupSize
+			// Fold a too-small trailing remainder into the last group so no
+			// group ends up with a single member (who would have no
+			// collaborators at all).
+			if hi > len(ids) || len(ids)-hi < 2 {
+				hi = len(ids)
+			}
+			confs := g.confsByCommunity[c]
+			grp := &group{
+				community: c,
+				members:   append([]AuthorID(nil), ids[lo:hi]...),
+				homeConf:  confs[g.rng.Intn(len(confs))],
+			}
+			g.groupsByComm[c] = append(g.groupsByComm[c], grp)
+			for _, id := range grp.members {
+				g.w.Identities[id].groups = append(g.w.Identities[id].groups, grp)
+			}
+			lo = hi
+		}
+	}
+}
+
+func (g *generator) makeAmbiguousIdentities() {
+	for _, amb := range g.cfg.Ambiguous {
+		parts := strings.SplitN(amb.Name, " ", 2)
+		first, last := parts[0], ""
+		if len(parts) == 2 {
+			last = parts[1]
+		}
+		g.insertAuthor(amb.Name)
+		base := g.rng.Intn(g.cfg.Communities)
+		for i := range amb.RefsPerAuthor {
+			// Same-named identities land in distinct communities as far as
+			// possible; with more identities than communities they wrap.
+			comm := (base + i) % g.cfg.Communities
+			id := AuthorID(len(g.w.Identities))
+			cf, ct := g.career()
+			ident := Identity{
+				ID: id, Name: amb.Name, First: first, Last: last,
+				Affiliation: affiliations[g.rng.Intn(len(affiliations))],
+				Community:   comm,
+				Ambiguous:   true,
+				careerFrom:  cf, careerTo: ct,
+			}
+			groups := g.groupsByComm[comm]
+			ident.groups = []*group{groups[g.rng.Intn(len(groups))]}
+			// An affiliation move: a second, disjoint collaboration group,
+			// producing the weakly linked partitions of Section 4.1.
+			if g.rng.Float64() < g.cfg.SplitIdentityProb && len(groups) > 1 {
+				for {
+					other := groups[g.rng.Intn(len(groups))]
+					if other != ident.groups[0] {
+						ident.groups = append(ident.groups, other)
+						break
+					}
+				}
+			}
+			g.w.Identities = append(g.w.Identities, ident)
+		}
+	}
+}
+
+// assignCores gives the identity a recurring-collaborator set for each of
+// its groups, sampled from the group members (excluding the identity).
+func (g *generator) assignCores(id AuthorID) {
+	ident := &g.w.Identities[id]
+	ident.cores = make([][]AuthorID, len(ident.groups))
+	for gi, grp := range ident.groups {
+		var pool []AuthorID
+		for _, m := range grp.members {
+			if m != id {
+				pool = append(pool, m)
+			}
+		}
+		g.rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+		n := g.cfg.CoreCollaborators
+		if n > len(pool) {
+			n = len(pool)
+		}
+		ident.cores[gi] = append([]AuthorID(nil), pool[:n]...)
+	}
+}
+
+// paperCoauthors selects the coauthors of one paper led by the identity,
+// using its gi-th group: each core collaborator joins with probability
+// CoreCollabProb, then up to MaxCoauthors extra coauthors come from the
+// group, the community, or (rarely) anywhere.
+func (g *generator) paperCoauthors(ident *Identity, gi int) []AuthorID {
+	grp := ident.groups[gi]
+	var out []AuthorID
+	seen := map[AuthorID]bool{ident.ID: true}
+	add := func(cand AuthorID) {
+		if !seen[cand] {
+			seen[cand] = true
+			out = append(out, cand)
+		}
+	}
+	for _, c := range ident.cores[gi] {
+		if g.rng.Float64() < g.cfg.CoreCollabProb {
+			add(c)
+		}
+	}
+	extras := g.rng.Intn(g.cfg.MaxCoauthors + 1)
+	for i := 0; i < extras; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < g.cfg.CrossCommunityProb:
+			add(g.ordinary[g.rng.Intn(len(g.ordinary))])
+		case r < g.cfg.CrossCommunityProb+g.cfg.CrossGroupProb:
+			comm := g.groupsByComm[grp.community]
+			other := comm[g.rng.Intn(len(comm))]
+			add(other.members[g.rng.Intn(len(other.members))])
+		default:
+			add(grp.members[g.rng.Intn(len(grp.members))])
+		}
+	}
+	// A paper always has at least one coauthor, so the coauthor join path
+	// never dead-ends for every reference of an author.
+	if len(out) == 0 {
+		for _, m := range grp.members {
+			if m != ident.ID {
+				add(m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// addPaper inserts a publication with the given authors at a conference
+// chosen for grp (its home venue preferentially, else its community's or a
+// general one), and records the ground truth of each new reference. Authors
+// with duplicate names are collapsed to one reference (the Publish tuple
+// would otherwise be ambiguous even in the ground truth).
+func (g *generator) addPaper(authors []AuthorID, grp *group) []reldb.TupleID {
+	db := g.w.DB
+	g.w.nPapers++
+	paperKey := fmt.Sprintf("p%06d", g.w.nPapers)
+
+	conf := ""
+	switch r := g.rng.Float64(); {
+	case r < g.cfg.GeneralConfProb && len(g.generalConfs) > 0:
+		conf = g.generalConfs[g.rng.Intn(len(g.generalConfs))]
+	case r < g.cfg.GeneralConfProb+g.cfg.HomeConfProb:
+		conf = grp.homeConf
+	default:
+		confs := g.confsByCommunity[grp.community]
+		conf = confs[g.rng.Intn(len(confs))]
+	}
+	words := make([]string, 3+g.rng.Intn(4))
+	for i := range words {
+		words[i] = titleWords[g.rng.Intn(len(titleWords))]
+	}
+	lead := &g.w.Identities[authors[0]]
+	db.MustInsert("Publications", paperKey, strings.Join(words, " "), g.procKey(conf, lead.careerFrom, lead.careerTo))
+	g.addCitations(paperKey, authors[0], grp.community)
+	g.papersByLead[authors[0]] = append(g.papersByLead[authors[0]], paperKey)
+	g.papersByComm[grp.community] = append(g.papersByComm[grp.community], paperKey)
+
+	var refs []reldb.TupleID
+	usedNames := make(map[string]bool, len(authors))
+	for _, id := range authors {
+		ident := &g.w.Identities[id]
+		if usedNames[ident.Name] {
+			continue
+		}
+		usedNames[ident.Name] = true
+		ref := db.MustInsert("Publish", ident.Name, paperKey)
+		g.w.RefAuthor[ref] = id
+		g.w.refsByName[ident.Name] = append(g.w.refsByName[ident.Name], ref)
+		refs = append(refs, ref)
+	}
+	return refs
+}
+
+func (g *generator) makeOrdinaryPapers() {
+	for _, id := range g.ordinary {
+		g.assignCores(id)
+	}
+	for _, id := range g.ordinary {
+		ident := &g.w.Identities[id]
+		n := int(g.cfg.PapersPerAuthor + g.rng.NormFloat64()*g.cfg.PapersPerAuthor/3)
+		if n < 1 {
+			n = 1
+		}
+		for p := 0; p < n; p++ {
+			gi := g.rng.Intn(len(ident.groups))
+			co := g.paperCoauthors(ident, gi)
+			g.addPaper(append([]AuthorID{id}, co...), ident.groups[gi])
+		}
+	}
+}
+
+func (g *generator) makeAmbiguousPapers() {
+	// Sibling groups per name: with probability CrossCommunityProb a paper
+	// of one identity borrows a coauthor from a same-named sibling's group.
+	// These are the misleading linkages behind the paper's Figure 5 errors.
+	byName := make(map[string][]AuthorID)
+	for _, ident := range g.w.Identities {
+		if ident.Ambiguous {
+			byName[ident.Name] = append(byName[ident.Name], ident.ID)
+		}
+	}
+	for _, amb := range g.cfg.Ambiguous {
+		ids := byName[amb.Name]
+		for _, id := range ids {
+			g.assignCores(id)
+		}
+		for i, id := range ids {
+			ident := &g.w.Identities[id]
+			want := amb.RefsPerAuthor[i]
+			for p := 0; p < want; p++ {
+				// Alternate between the identity's groups so a split
+				// identity's references partition into two camps.
+				gi := p % len(ident.groups)
+				co := g.paperCoauthors(ident, gi)
+				if len(ids) > 1 && g.rng.Float64() < g.cfg.CrossCommunityProb {
+					sib := ids[g.rng.Intn(len(ids))]
+					if sib != id {
+						sg := g.w.Identities[sib].groups[0]
+						co = append(co, sg.members[g.rng.Intn(len(sg.members))])
+					}
+				}
+				g.addPaper(append([]AuthorID{id}, co...), ident.groups[gi])
+			}
+		}
+	}
+}
+
+// Assemble reconstructs a World from its parts (as deserialized from disk):
+// the database, the identity list, and the per-reference ground truth. The
+// reference index and paper count are rebuilt from the database. Every
+// reference tuple must have a ground-truth entry naming a valid identity
+// whose name matches the tuple.
+func Assemble(cfg Config, db *reldb.Database, identities []Identity, refAuthor map[reldb.TupleID]AuthorID) (*World, error) {
+	w := &World{
+		Config:     cfg,
+		DB:         db,
+		Identities: identities,
+		RefAuthor:  refAuthor,
+		refsByName: make(map[string][]reldb.TupleID),
+	}
+	pub := db.Relation(ReferenceRelation)
+	if pub == nil {
+		return nil, fmt.Errorf("dblp: database has no %s relation", ReferenceRelation)
+	}
+	for _, ref := range pub.TupleIDs() {
+		id, ok := refAuthor[ref]
+		if !ok {
+			return nil, fmt.Errorf("dblp: reference %d has no ground truth", ref)
+		}
+		if int(id) < 0 || int(id) >= len(identities) {
+			return nil, fmt.Errorf("dblp: reference %d names unknown identity %d", ref, id)
+		}
+		name := db.Tuple(ref).Val(ReferenceAttr)
+		if identities[id].Name != name {
+			return nil, fmt.Errorf("dblp: reference %d is %q but identity %d is %q", ref, name, id, identities[id].Name)
+		}
+		w.refsByName[name] = append(w.refsByName[name], ref)
+	}
+	if pubs := db.Relation("Publications"); pubs != nil {
+		w.nPapers = pubs.Size()
+	}
+	return w, nil
+}
+
+// addCitations makes the new paper cite earlier papers: preferentially the
+// lead's own earlier papers (self-citation is the linkage that ties one
+// author's references together), otherwise earlier papers of the same
+// community.
+func (g *generator) addCitations(paperKey string, lead AuthorID, community int) {
+	mean := g.cfg.CitationsPerPaper
+	if mean <= 0 {
+		return
+	}
+	n := g.rng.Intn(2*mean + 1) // uniform with the requested mean
+	own := g.papersByLead[lead]
+	comm := g.papersByComm[community]
+	cited := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		var target string
+		if len(own) > 0 && g.rng.Float64() < g.cfg.SelfCiteProb {
+			target = own[g.rng.Intn(len(own))]
+		} else if len(comm) > 0 {
+			target = comm[g.rng.Intn(len(comm))]
+		} else {
+			break
+		}
+		if cited[target] {
+			continue
+		}
+		cited[target] = true
+		g.w.DB.MustInsert("Cites", paperKey, target)
+	}
+}
+
+// Refs returns every reference (Publish tuple) carrying the given name, in
+// insertion order.
+func (w *World) Refs(name string) []reldb.TupleID {
+	return w.refsByName[name]
+}
+
+// AmbiguousNames returns the injected names in configuration order.
+func (w *World) AmbiguousNames() []string {
+	names := make([]string, len(w.Config.Ambiguous))
+	for i, a := range w.Config.Ambiguous {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// GoldClusters groups the references of a name by true identity. Clusters
+// are ordered by first appearance; references keep insertion order.
+func (w *World) GoldClusters(name string) [][]reldb.TupleID {
+	var order []AuthorID
+	byID := make(map[AuthorID][]reldb.TupleID)
+	for _, ref := range w.refsByName[name] {
+		id := w.RefAuthor[ref]
+		if _, ok := byID[id]; !ok {
+			order = append(order, id)
+		}
+		byID[id] = append(byID[id], ref)
+	}
+	out := make([][]reldb.TupleID, len(order))
+	for i, id := range order {
+		out[i] = byID[id]
+	}
+	return out
+}
+
+// Identity returns the identity record for an author ID.
+func (w *World) Identity(id AuthorID) Identity { return w.Identities[id] }
+
+// NumPapers returns the number of generated publications.
+func (w *World) NumPapers() int { return w.nPapers }
+
+// NumReferences returns the total number of authorship references.
+func (w *World) NumReferences() int { return w.DB.Relation(ReferenceRelation).Size() }
+
+// NameCounts tallies, for every author name, how many identities carry it.
+// Sorted by name for determinism.
+func (w *World) NameCounts() []NameCount {
+	m := make(map[string]int)
+	for _, ident := range w.Identities {
+		m[ident.Name]++
+	}
+	out := make([]NameCount, 0, len(m))
+	for n, c := range m {
+		out = append(out, NameCount{Name: n, Identities: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NameCount reports how many identities share one name.
+type NameCount struct {
+	Name       string
+	Identities int
+}

@@ -1,0 +1,59 @@
+package dblpxml
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLatin1Author(t *testing.T) {
+	// "Jos\xe9" is "José" in ISO-8859-1.
+	xmlDoc := "<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n<dblp>" +
+		"<inproceedings key=\"conf/x/A99\"><author>Jos\xe9 Garc\xeda</author>" +
+		"<title>T.</title><booktitle>X</booktitle><year>1999</year></inproceedings></dblp>"
+	db, stats, err := Load(strings.NewReader(xmlDoc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 1 || stats.Authors != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if db.LookupKey("Authors", "José García") < 0 {
+		t.Error("Latin-1 author not converted to UTF-8")
+	}
+}
+
+func TestCharsetReaderSelection(t *testing.T) {
+	if _, err := charsetReader("utf-8", strings.NewReader("x")); err != nil {
+		t.Error(err)
+	}
+	if _, err := charsetReader("ISO-8859-1", strings.NewReader("x")); err != nil {
+		t.Error(err)
+	}
+	if _, err := charsetReader("shift-jis", strings.NewReader("x")); err == nil {
+		t.Error("unsupported charset accepted")
+	}
+}
+
+func TestLatin1ReaderSmallBuffer(t *testing.T) {
+	r, err := charsetReader("latin1", strings.NewReader("a\xe9b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read byte by byte to exercise the pending buffer.
+	var out []byte
+	buf := make([]byte, 1)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(out) != "aéb" {
+		t.Errorf("converted %q", out)
+	}
+}

@@ -1,0 +1,165 @@
+package dblpxml
+
+import (
+	"strings"
+	"testing"
+
+	"distinct/internal/reldb"
+)
+
+// sample mimics the real dblp.xml structure, including record kinds the
+// loader must skip and a duplicate author listing.
+const sample = `<?xml version="1.0" encoding="ISO-8859-1"?>
+<dblp>
+<inproceedings key="conf/vldb/WangYM97" mdate="2017-05-22">
+  <author>Wei Wang</author>
+  <author>Jiong Yang</author>
+  <author>Richard R. Muntz</author>
+  <title>STING: A Statistical Information Grid Approach to Spatial Data Mining.</title>
+  <booktitle>VLDB</booktitle>
+  <year>1997</year>
+  <pages>186-195</pages>
+</inproceedings>
+<inproceedings key="conf/sigmod/WangWYY02">
+  <author>Haixun Wang</author>
+  <author>Wei Wang</author>
+  <author>Jiong Yang</author>
+  <author>Philip S. Yu</author>
+  <title>Clustering by pattern similarity in large data sets.</title>
+  <booktitle>SIGMOD Conference</booktitle>
+  <year>2002</year>
+</inproceedings>
+<article key="journals/tkde/Example05">
+  <author>Wei Wang</author>
+  <author>Wei Wang</author>
+  <author>Xuemin Lin</author>
+  <title>An article with a duplicated author listing.</title>
+  <journal>IEEE Trans. Knowl. Data Eng.</journal>
+  <year>2005</year>
+</article>
+<proceedings key="conf/vldb/97">
+  <editor>Somebody Else</editor>
+  <title>VLDB 1997 Proceedings</title>
+  <booktitle>VLDB</booktitle>
+  <year>1997</year>
+</proceedings>
+<phdthesis key="phd/Someone99">
+  <author>Someone Unrelated</author>
+  <title>A thesis.</title>
+  <year>1999</year>
+</phdthesis>
+<inproceedings key="conf/bad/NoYear">
+  <author>No Year</author>
+  <title>Missing year.</title>
+  <booktitle>BAD</booktitle>
+</inproceedings>
+<inproceedings key="conf/vldb/WangYM97">
+  <author>Duplicate Key</author>
+  <title>Same key again.</title>
+  <booktitle>VLDB</booktitle>
+  <year>1997</year>
+</inproceedings>
+</dblp>`
+
+func TestLoadSample(t *testing.T) {
+	db, stats, err := Load(strings.NewReader(sample), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 3 {
+		t.Fatalf("records = %d, want 3", stats.Records)
+	}
+	// Skipped: proceedings and phdthesis are not counted (wrong kind is
+	// skipped before decoding); the no-year and duplicate-key records are.
+	if stats.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2", stats.Skipped)
+	}
+	// Authors: Wei Wang, Jiong Yang, Richard R. Muntz, Haixun Wang,
+	// Philip S. Yu, Xuemin Lin.
+	if stats.Authors != 6 {
+		t.Errorf("authors = %d, want 6", stats.Authors)
+	}
+	// The duplicated "Wei Wang" on the article collapses to one reference.
+	if stats.Refs != 3+4+2 {
+		t.Errorf("refs = %d, want 9", stats.Refs)
+	}
+	if stats.Venues != 3 {
+		t.Errorf("venues = %d, want 3", stats.Venues)
+	}
+
+	// Relational contents.
+	if got := db.Relation("Publish").Size(); got != 9 {
+		t.Errorf("Publish size = %d", got)
+	}
+	weiRefs := db.Referencing("Publish", "author", "Wei Wang")
+	if len(weiRefs) != 3 {
+		t.Errorf("Wei Wang refs = %d, want 3", len(weiRefs))
+	}
+	// Proceedings key is venue/year; its conference FK resolves.
+	pid := db.LookupKey("Proceedings", "VLDB/1997")
+	if pid == reldb.InvalidTuple {
+		t.Fatal("VLDB/1997 proceedings missing")
+	}
+	if db.LookupKey("Conferences", "VLDB") == reldb.InvalidTuple {
+		t.Fatal("VLDB conference missing")
+	}
+	// Publisher derivation.
+	ct := db.LookupKey("Conferences", "IEEE Trans. Knowl. Data Eng.")
+	if db.Tuple(ct).Val("publisher") != "journal" {
+		t.Errorf("journal publisher = %q", db.Tuple(ct).Val("publisher"))
+	}
+	cv := db.LookupKey("Conferences", "VLDB")
+	if db.Tuple(cv).Val("publisher") != "conference" {
+		t.Errorf("conference publisher = %q", db.Tuple(cv).Val("publisher"))
+	}
+}
+
+func TestLoadOptions(t *testing.T) {
+	// MinAuthors 3 keeps only the two conference papers (the article has 2
+	// distinct authors).
+	_, stats, err := Load(strings.NewReader(sample), Options{MinAuthors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 {
+		t.Errorf("records = %d, want 2", stats.Records)
+	}
+	// MaxRecords stops early.
+	_, stats, err = Load(strings.NewReader(sample), Options{MaxRecords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 1 {
+		t.Errorf("records = %d, want 1", stats.Records)
+	}
+	// Kinds restricts record elements.
+	_, stats, err = Load(strings.NewReader(sample), Options{Kinds: []string{"article"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 1 {
+		t.Errorf("article-only records = %d, want 1", stats.Records)
+	}
+}
+
+func TestLoadMalformedXML(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("<dblp><inproceedings key='x'>"), Options{}); err == nil {
+		t.Error("malformed XML accepted")
+	}
+}
+
+func TestLoadedDatabaseDrivesTheEngine(t *testing.T) {
+	db, _, err := Load(strings.NewReader(sample), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded database must satisfy the engine's structural expectations
+	// (FK integrity, expansion).
+	ex, _, err := reldb.ExpandAttributes(db, "Publications.title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Relation(reldb.ValueRelationName("Proceedings", "year")) == nil {
+		t.Error("expansion failed on loaded data")
+	}
+}

@@ -1,0 +1,117 @@
+package dblpxml
+
+import (
+	"distinct/internal/dblp"
+	"distinct/internal/reldb"
+)
+
+// Prune applies the paper's preprocessing (Section 5: "authors with no
+// more than 2 papers are removed, and there are 127,124 authors left"):
+// it drops every author with fewer than minRefs references, together with
+// their authorship tuples, then drops publications left with no authors
+// and proceedings/conferences left with no publications. The real DBLP
+// dump is dominated by one-paper authors that add volume but no linkage.
+//
+// A new database is returned; the input is unchanged. PruneStats reports
+// what was removed.
+type PruneStats struct {
+	AuthorsKept, AuthorsDropped int
+	RefsKept, RefsDropped       int
+	PapersKept, PapersDropped   int
+}
+
+// Prune filters a database in the paper's DBLP schema.
+func Prune(db *reldb.Database, minRefs int) (*reldb.Database, *PruneStats, error) {
+	if minRefs < 1 {
+		minRefs = 1
+	}
+	stats := &PruneStats{}
+	out := reldb.NewDatabase(dblp.Schema())
+
+	// Pass 1: authors meeting the reference threshold.
+	keepAuthor := make(map[reldb.Value]bool)
+	authors := db.Relation("Authors")
+	ki := authors.Schema.KeyIndex()
+	for _, id := range authors.TupleIDs() {
+		name := db.Tuple(id).Vals[ki]
+		if len(db.Referencing("Publish", "author", name)) >= minRefs {
+			keepAuthor[name] = true
+			stats.AuthorsKept++
+		} else {
+			stats.AuthorsDropped++
+		}
+	}
+
+	// Pass 2: publications that retain at least one author.
+	keepPaper := make(map[reldb.Value]bool)
+	pubs := db.Relation("Publications")
+	pki := pubs.Schema.KeyIndex()
+	for _, id := range pubs.TupleIDs() {
+		key := db.Tuple(id).Vals[pki]
+		for _, ref := range db.Referencing("Publish", "paper-key", key) {
+			if keepAuthor[db.Tuple(ref).Val("author")] {
+				keepPaper[key] = true
+				break
+			}
+		}
+		if keepPaper[key] {
+			stats.PapersKept++
+		} else {
+			stats.PapersDropped++
+		}
+	}
+
+	// Pass 3: proceedings and conferences still referenced.
+	keepProc := make(map[reldb.Value]bool)
+	for _, id := range pubs.TupleIDs() {
+		t := db.Tuple(id)
+		if keepPaper[t.Vals[pki]] {
+			keepProc[t.Val("proc-key")] = true
+		}
+	}
+	keepConf := make(map[reldb.Value]bool)
+	procs := db.Relation("Proceedings")
+	prki := procs.Schema.KeyIndex()
+	for _, id := range procs.TupleIDs() {
+		t := db.Tuple(id)
+		if keepProc[t.Vals[prki]] {
+			keepConf[t.Val("conference")] = true
+		}
+	}
+
+	// Rebuild in dependency order, preserving tuple order.
+	for _, id := range db.Relation("Conferences").TupleIDs() {
+		t := db.Tuple(id)
+		if keepConf[t.Vals[t.Rel.KeyIndex()]] {
+			out.MustInsert("Conferences", t.Vals...)
+		}
+	}
+	for _, id := range procs.TupleIDs() {
+		t := db.Tuple(id)
+		if keepProc[t.Vals[prki]] {
+			out.MustInsert("Proceedings", t.Vals...)
+		}
+	}
+	for _, id := range pubs.TupleIDs() {
+		t := db.Tuple(id)
+		if keepPaper[t.Vals[pki]] {
+			out.MustInsert("Publications", t.Vals...)
+		}
+	}
+	for _, id := range authors.TupleIDs() {
+		t := db.Tuple(id)
+		if keepAuthor[t.Vals[ki]] {
+			out.MustInsert("Authors", t.Vals...)
+		}
+	}
+	for _, id := range db.Relation("Publish").TupleIDs() {
+		t := db.Tuple(id)
+		if keepAuthor[t.Val("author")] && keepPaper[t.Val("paper-key")] {
+			out.MustInsert("Publish", t.Vals...)
+			stats.RefsKept++
+		} else {
+			stats.RefsDropped++
+		}
+	}
+	return out, stats, nil
+}

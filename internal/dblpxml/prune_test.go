@@ -1,0 +1,92 @@
+package dblpxml
+
+import (
+	"strings"
+	"testing"
+
+	"distinct/internal/reldb"
+)
+
+// pruneSample: Alice has 3 papers, Bob 2, Carol 1 (only on Bob's paper),
+// Dave 1 (alone on his own paper at a venue nobody else uses).
+const pruneSample = `<dblp>
+<inproceedings key="k1"><author>Alice</author><author>Bob</author><title>A.</title><booktitle>V1</booktitle><year>2000</year></inproceedings>
+<inproceedings key="k2"><author>Alice</author><title>B.</title><booktitle>V1</booktitle><year>2001</year></inproceedings>
+<inproceedings key="k3"><author>Alice</author><author>Bob</author><author>Carol</author><title>C.</title><booktitle>V2</booktitle><year>2002</year></inproceedings>
+<inproceedings key="k4"><author>Dave</author><title>D.</title><booktitle>V3</booktitle><year>2003</year></inproceedings>
+</dblp>`
+
+func loadPruneSample(t *testing.T) *reldb.Database {
+	t.Helper()
+	db, _, err := Load(strings.NewReader(pruneSample), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPruneDropsLowDegreeAuthors(t *testing.T) {
+	db := loadPruneSample(t)
+	out, stats, err := Prune(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice (3) and Bob (2) stay; Carol (1) and Dave (1) go.
+	if stats.AuthorsKept != 2 || stats.AuthorsDropped != 2 {
+		t.Errorf("author stats %+v", stats)
+	}
+	if out.LookupKey("Authors", "Carol") != reldb.InvalidTuple {
+		t.Error("Carol survived")
+	}
+	if out.LookupKey("Authors", "Alice") == reldb.InvalidTuple {
+		t.Error("Alice dropped")
+	}
+	// Dave's solo paper k4 goes; k3 stays (Alice and Bob remain on it) but
+	// loses Carol's reference.
+	if out.LookupKey("Publications", "k4") != reldb.InvalidTuple {
+		t.Error("orphan paper survived")
+	}
+	if out.LookupKey("Publications", "k3") == reldb.InvalidTuple {
+		t.Error("k3 dropped despite surviving authors")
+	}
+	if got := len(out.Referencing("Publish", "paper-key", "k3")); got != 2 {
+		t.Errorf("k3 has %d refs after pruning, want 2", got)
+	}
+	// V3 (only Dave's venue) disappears; V1 and V2 stay.
+	if out.LookupKey("Conferences", "V3") != reldb.InvalidTuple {
+		t.Error("orphan venue survived")
+	}
+	if out.LookupKey("Conferences", "V1") == reldb.InvalidTuple {
+		t.Error("live venue dropped")
+	}
+	// Referential integrity of the pruned database.
+	for _, rs := range out.Schema.Relations() {
+		rel := out.Relation(rs.Name)
+		for _, fi := range rs.ForeignKeys() {
+			for _, id := range rel.TupleIDs() {
+				v := out.Tuple(id).Vals[fi]
+				if out.LookupKey(rs.Attrs[fi].FK, v) == reldb.InvalidTuple {
+					t.Fatalf("dangling %s.%s = %q", rs.Name, rs.Attrs[fi].Name, v)
+				}
+			}
+		}
+	}
+	// Stats add up.
+	if stats.RefsKept+stats.RefsDropped != db.Relation("Publish").Size() {
+		t.Error("ref stats do not cover the input")
+	}
+}
+
+func TestPruneMinOne(t *testing.T) {
+	db := loadPruneSample(t)
+	out, stats, err := Prune(db, 0) // clamped to 1: nothing removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AuthorsDropped != 0 || stats.PapersDropped != 0 || stats.RefsDropped != 0 {
+		t.Errorf("minRefs 1 removed data: %+v", stats)
+	}
+	if out.Relation("Publish").Size() != db.Relation("Publish").Size() {
+		t.Error("references lost at minRefs 1")
+	}
+}

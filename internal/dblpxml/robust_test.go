@@ -1,0 +1,66 @@
+package dblpxml
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestLoadNeverPanics feeds the loader mutated XML documents: every byte
+// deletion, duplication or flip of the sample must either parse or return
+// an error — never panic, never loop.
+func TestLoadNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := []byte(strings.ReplaceAll(sample, "ISO-8859-1", "UTF-8"))
+	for trial := 0; trial < 300; trial++ {
+		doc := append([]byte(nil), base...)
+		switch trial % 3 {
+		case 0: // delete a random span
+			i := rng.Intn(len(doc) - 1)
+			n := 1 + rng.Intn(20)
+			if i+n > len(doc) {
+				n = len(doc) - i
+			}
+			doc = append(doc[:i], doc[i+n:]...)
+		case 1: // duplicate a random span
+			i := rng.Intn(len(doc) - 1)
+			n := 1 + rng.Intn(20)
+			if i+n > len(doc) {
+				n = len(doc) - i
+			}
+			doc = append(doc[:i+n], append(append([]byte(nil), doc[i:i+n]...), doc[i+n:]...)...)
+		default: // flip random bytes
+			for k := 0; k < 3; k++ {
+				doc[rng.Intn(len(doc))] = byte(rng.Intn(128))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v\ndoc: %.200s", trial, r, doc)
+				}
+			}()
+			db, _, err := Load(strings.NewReader(string(doc)), Options{})
+			if err == nil && db == nil {
+				t.Fatalf("trial %d: nil database without error", trial)
+			}
+		}()
+	}
+}
+
+// TestLoadTruncations: every prefix truncation of the sample must be
+// handled gracefully.
+func TestLoadTruncations(t *testing.T) {
+	base := strings.ReplaceAll(sample, "ISO-8859-1", "UTF-8")
+	for cut := 0; cut < len(base); cut += 37 {
+		doc := base[:cut]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d panicked: %v", cut, r)
+				}
+			}()
+			Load(strings.NewReader(doc), Options{})
+		}()
+	}
+}

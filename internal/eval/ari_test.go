@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAdjustedRandIdentical(t *testing.T) {
+	c := Clustering{ids(1, 2, 3), ids(4, 5)}
+	ari, err := AdjustedRand(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari-1) > 1e-12 {
+		t.Errorf("ARI of identical partitions = %v", ari)
+	}
+}
+
+func TestAdjustedRandHandComputed(t *testing.T) {
+	// Classic example: pred {1,2}{3,4,5}, gold {1,2,3}{4,5}.
+	pred := Clustering{ids(1, 2), ids(3, 4, 5)}
+	gold := Clustering{ids(1, 2, 3), ids(4, 5)}
+	ari, err := AdjustedRand(pred, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sumJoint: cells {1,2}->2C2=1, {3}->0, {4,5}->1 => 2.
+	// sumPred: 1 + 3 = 4; sumGold: 3 + 1 = 4; total = 10.
+	// expected = 16/10 = 1.6; max = 4; ARI = (2-1.6)/(4-1.6) = 1/6.
+	want := (2.0 - 1.6) / (4.0 - 1.6)
+	if math.Abs(ari-want) > 1e-12 {
+		t.Errorf("ARI = %v, want %v", ari, want)
+	}
+}
+
+func TestAdjustedRandDegenerate(t *testing.T) {
+	// Both all-singletons: identical partitions, ARI 1 by convention.
+	a := Clustering{ids(1), ids(2), ids(3)}
+	ari, err := AdjustedRand(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari != 1 {
+		t.Errorf("singleton ARI = %v", ari)
+	}
+	// Single reference.
+	one := Clustering{ids(7)}
+	if ari, _ := AdjustedRand(one, one); ari != 1 {
+		t.Errorf("n=1 ARI = %v", ari)
+	}
+}
+
+func TestAdjustedRandErrors(t *testing.T) {
+	if _, err := AdjustedRand(Clustering{ids(1)}, Clustering{ids(1, 2)}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := AdjustedRand(Clustering{ids(1, 1)}, Clustering{ids(1), ids(2)}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := AdjustedRand(Clustering{ids(1, 3)}, Clustering{ids(1, 2)}); err == nil {
+		t.Error("disjoint item sets accepted")
+	}
+}
+
+// Property: ARI is symmetric, at most 1, and near 0 on independent random
+// partitions (averaged over trials).
+func TestAdjustedRandProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sum float64
+	trials := 60
+	for i := 0; i < trials; i++ {
+		n := 20 + rng.Intn(20)
+		a := randomPartition(rng, n, 2+rng.Intn(4))
+		b := randomPartition(rng, n, 2+rng.Intn(4))
+		x, err := AdjustedRand(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := AdjustedRand(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(x-y) > 1e-12 {
+			t.Fatalf("ARI asymmetric: %v vs %v", x, y)
+		}
+		if x > 1+1e-12 {
+			t.Fatalf("ARI %v above 1", x)
+		}
+		sum += x
+	}
+	mean := sum / float64(trials)
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("mean ARI of independent partitions = %v, want ~0", mean)
+	}
+}

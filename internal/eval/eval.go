@@ -1,0 +1,264 @@
+// Package eval scores a predicted clustering of references against the
+// gold standard, using the pairwise precision / recall / f-measure of the
+// DISTINCT paper (Section 5): TP counts reference pairs co-clustered in both
+// the prediction and the gold standard, FP pairs co-clustered only in the
+// prediction, FN pairs co-clustered only in the gold standard.
+//
+// Accuracy — the fraction of all reference pairs classified correctly,
+// (TP+TN)/(TP+TN+FP+FN) — is reported as well; the paper's Figure 4 plots
+// both accuracy and f-measure. B-cubed metrics are provided as an extension
+// beyond the paper for users who prefer per-reference scoring.
+package eval
+
+import (
+	"fmt"
+
+	"distinct/internal/reldb"
+)
+
+// Clustering is a partition of references into clusters.
+type Clustering [][]reldb.TupleID
+
+// Items returns all references of the clustering, in cluster order.
+func (c Clustering) Items() []reldb.TupleID {
+	var out []reldb.TupleID
+	for _, cl := range c {
+		out = append(out, cl...)
+	}
+	return out
+}
+
+// NumItems returns the total number of references.
+func (c Clustering) NumItems() int {
+	n := 0
+	for _, cl := range c {
+		n += len(cl)
+	}
+	return n
+}
+
+// Metrics are the pairwise scores of one predicted clustering.
+type Metrics struct {
+	TP, FP, FN, TN int
+	Precision      float64
+	Recall         float64
+	F1             float64
+	Accuracy       float64
+}
+
+// String renders the metrics like the paper's Table 2 rows.
+func (m Metrics) String() string {
+	return fmt.Sprintf("precision=%.3f recall=%.3f f-measure=%.3f accuracy=%.3f",
+		m.Precision, m.Recall, m.F1, m.Accuracy)
+}
+
+func membership(c Clustering) (map[reldb.TupleID]int, error) {
+	m := make(map[reldb.TupleID]int, c.NumItems())
+	for ci, cl := range c {
+		for _, r := range cl {
+			if _, dup := m[r]; dup {
+				return nil, fmt.Errorf("eval: reference %d appears in two clusters", r)
+			}
+			m[r] = ci
+		}
+	}
+	return m, nil
+}
+
+// Evaluate scores pred against gold. Both clusterings must partition the
+// same set of references.
+func Evaluate(pred, gold Clustering) (Metrics, error) {
+	pm, err := membership(pred)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("eval: predicted clustering: %w", err)
+	}
+	gm, err := membership(gold)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("eval: gold clustering: %w", err)
+	}
+	if len(pm) != len(gm) {
+		return Metrics{}, fmt.Errorf("eval: predicted has %d references, gold has %d", len(pm), len(gm))
+	}
+	items := make([]reldb.TupleID, 0, len(pm))
+	for r := range pm {
+		if _, ok := gm[r]; !ok {
+			return Metrics{}, fmt.Errorf("eval: reference %d missing from gold clustering", r)
+		}
+		items = append(items, r)
+	}
+
+	var m Metrics
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			samePred := pm[items[i]] == pm[items[j]]
+			sameGold := gm[items[i]] == gm[items[j]]
+			switch {
+			case samePred && sameGold:
+				m.TP++
+			case samePred && !sameGold:
+				m.FP++
+			case !samePred && sameGold:
+				m.FN++
+			default:
+				m.TN++
+			}
+		}
+	}
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	} else {
+		// No pair was co-clustered: precision is vacuously perfect, matching
+		// the paper's "no false positive" convention for singleton-heavy
+		// predictions.
+		m.Precision = 1
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	} else {
+		m.Recall = 1
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	total := m.TP + m.FP + m.FN + m.TN
+	if total > 0 {
+		m.Accuracy = float64(m.TP+m.TN) / float64(total)
+	} else {
+		m.Accuracy = 1
+	}
+	return m, nil
+}
+
+// Average returns the unweighted mean of each metric, as the paper's
+// "average" row in Table 2 does.
+func Average(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var a Metrics
+	for _, m := range ms {
+		a.Precision += m.Precision
+		a.Recall += m.Recall
+		a.F1 += m.F1
+		a.Accuracy += m.Accuracy
+		a.TP += m.TP
+		a.FP += m.FP
+		a.FN += m.FN
+		a.TN += m.TN
+	}
+	n := float64(len(ms))
+	a.Precision /= n
+	a.Recall /= n
+	a.F1 /= n
+	a.Accuracy /= n
+	return a
+}
+
+// AdjustedRand computes the Adjusted Rand Index of pred against gold: the
+// pairwise agreement corrected for chance, 1 for identical partitions,
+// ~0 for independent ones, negative for worse-than-chance. An extension
+// beyond the paper for users comparing against modern clustering work.
+func AdjustedRand(pred, gold Clustering) (float64, error) {
+	pm, err := membership(pred)
+	if err != nil {
+		return 0, err
+	}
+	gm, err := membership(gold)
+	if err != nil {
+		return 0, err
+	}
+	if len(pm) != len(gm) {
+		return 0, fmt.Errorf("eval: predicted has %d references, gold has %d", len(pm), len(gm))
+	}
+	n := len(pm)
+	if n < 2 {
+		return 1, nil
+	}
+	// Contingency table counts.
+	joint := make(map[[2]int]int)
+	for r, pc := range pm {
+		gc, ok := gm[r]
+		if !ok {
+			return 0, fmt.Errorf("eval: reference %d missing from gold clustering", r)
+		}
+		joint[[2]int{pc, gc}]++
+	}
+	choose2 := func(k int) float64 { return float64(k) * float64(k-1) / 2 }
+	var sumJoint, sumPred, sumGold float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, cl := range pred {
+		sumPred += choose2(len(cl))
+	}
+	for _, cl := range gold {
+		sumGold += choose2(len(cl))
+	}
+	total := choose2(n)
+	expected := sumPred * sumGold / total
+	maxIdx := (sumPred + sumGold) / 2
+	if maxIdx == expected {
+		// Degenerate partitions (e.g. both all-singletons): identical by
+		// construction when the joint sum matches.
+		return 1, nil
+	}
+	return (sumJoint - expected) / (maxIdx - expected), nil
+}
+
+// BCubedMetrics are per-reference precision/recall scores.
+type BCubedMetrics struct {
+	Precision, Recall, F1 float64
+}
+
+// BCubed computes B-cubed precision and recall: for each reference, the
+// fraction of its predicted cluster (resp. gold cluster) that shares its
+// gold (resp. predicted) cluster, averaged over references. This extension
+// is not in the paper but is standard in later entity-resolution work.
+func BCubed(pred, gold Clustering) (BCubedMetrics, error) {
+	pm, err := membership(pred)
+	if err != nil {
+		return BCubedMetrics{}, err
+	}
+	gm, err := membership(gold)
+	if err != nil {
+		return BCubedMetrics{}, err
+	}
+	if len(pm) != len(gm) {
+		return BCubedMetrics{}, fmt.Errorf("eval: predicted has %d references, gold has %d", len(pm), len(gm))
+	}
+	var b BCubedMetrics
+	n := 0
+	for _, cl := range pred {
+		for _, r := range cl {
+			if _, ok := gm[r]; !ok {
+				return BCubedMetrics{}, fmt.Errorf("eval: reference %d missing from gold clustering", r)
+			}
+			// Precision: same-gold fraction of r's predicted cluster.
+			same := 0
+			for _, o := range cl {
+				if gm[o] == gm[r] {
+					same++
+				}
+			}
+			b.Precision += float64(same) / float64(len(cl))
+			// Recall: same-pred fraction of r's gold cluster.
+			gc := gold[gm[r]]
+			same = 0
+			for _, o := range gc {
+				if pm[o] == pm[r] {
+					same++
+				}
+			}
+			b.Recall += float64(same) / float64(len(gc))
+			n++
+		}
+	}
+	if n > 0 {
+		b.Precision /= float64(n)
+		b.Recall /= float64(n)
+	}
+	if b.Precision+b.Recall > 0 {
+		b.F1 = 2 * b.Precision * b.Recall / (b.Precision + b.Recall)
+	}
+	return b, nil
+}

@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distinct/internal/reldb"
+)
+
+func ids(xs ...int) []reldb.TupleID {
+	out := make([]reldb.TupleID, len(xs))
+	for i, x := range xs {
+		out[i] = reldb.TupleID(x)
+	}
+	return out
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestEvaluatePerfect(t *testing.T) {
+	gold := Clustering{ids(1, 2, 3), ids(4, 5)}
+	m, err := Evaluate(gold, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 || m.Accuracy != 1 {
+		t.Errorf("perfect clustering scored %v", m)
+	}
+	if m.TP != 4 || m.FP != 0 || m.FN != 0 || m.TN != 6 {
+		t.Errorf("counts %+v", m)
+	}
+}
+
+func TestEvaluateHandComputed(t *testing.T) {
+	gold := Clustering{ids(1, 2, 3), ids(4, 5)}
+	pred := Clustering{ids(1, 2), ids(3, 4, 5)}
+	m, err := Evaluate(pred, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pred pairs: (1,2) (3,4) (3,5) (4,5). Gold pairs: (1,2)(1,3)(2,3)(4,5).
+	// TP = {(1,2),(4,5)} = 2; FP = {(3,4),(3,5)} = 2; FN = {(1,3),(2,3)} = 2.
+	if m.TP != 2 || m.FP != 2 || m.FN != 2 {
+		t.Fatalf("counts %+v", m)
+	}
+	if !approx(m.Precision, 0.5) || !approx(m.Recall, 0.5) || !approx(m.F1, 0.5) {
+		t.Errorf("metrics %v", m)
+	}
+	// 10 pairs total, TN = 4, accuracy = 6/10.
+	if !approx(m.Accuracy, 0.6) {
+		t.Errorf("accuracy %v", m.Accuracy)
+	}
+}
+
+func TestEvaluateAllSingletons(t *testing.T) {
+	gold := Clustering{ids(1, 2), ids(3)}
+	pred := Clustering{ids(1), ids(2), ids(3)}
+	m, err := Evaluate(pred, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No predicted pair: precision vacuously 1, recall 0.
+	if m.Precision != 1 || m.Recall != 0 || m.F1 != 0 {
+		t.Errorf("singleton metrics %v", m)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	gold := Clustering{ids(1, 2)}
+	if _, err := Evaluate(Clustering{ids(1)}, gold); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := Evaluate(Clustering{ids(1, 1)}, Clustering{ids(1), ids(1)}); err == nil {
+		t.Error("duplicate reference accepted")
+	}
+	if _, err := Evaluate(Clustering{ids(1, 3)}, gold); err == nil {
+		t.Error("disjoint reference sets accepted")
+	}
+	if _, err := Evaluate(Clustering{ids(1, 2)}, Clustering{ids(1, 1)}); err == nil {
+		t.Error("duplicate in gold accepted")
+	}
+}
+
+func TestEvaluateStringAndItems(t *testing.T) {
+	c := Clustering{ids(1, 2), ids(3)}
+	if c.NumItems() != 3 || len(c.Items()) != 3 {
+		t.Error("Items/NumItems wrong")
+	}
+	m, _ := Evaluate(c, c)
+	s := m.String()
+	if len(s) == 0 || s[0] != 'p' {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	ms := []Metrics{
+		{Precision: 1, Recall: 0.5, F1: 2.0 / 3, Accuracy: 0.8},
+		{Precision: 0.5, Recall: 1, F1: 2.0 / 3, Accuracy: 0.6},
+	}
+	a := Average(ms)
+	if !approx(a.Precision, 0.75) || !approx(a.Recall, 0.75) || !approx(a.Accuracy, 0.7) {
+		t.Errorf("Average = %v", a)
+	}
+	if z := Average(nil); z.Precision != 0 {
+		t.Errorf("Average(nil) = %v", z)
+	}
+}
+
+func TestBCubedPerfectAndHand(t *testing.T) {
+	gold := Clustering{ids(1, 2, 3), ids(4, 5)}
+	b, err := BCubed(gold, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Precision != 1 || b.Recall != 1 || b.F1 != 1 {
+		t.Errorf("perfect B-cubed %v", b)
+	}
+	pred := Clustering{ids(1, 2), ids(3, 4, 5)}
+	b, err = BCubed(pred, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision per ref: 1:1, 2:1, 3:1/3, 4:2/3, 5:2/3 -> mean 11/15.
+	if !approx(b.Precision, 11.0/15) {
+		t.Errorf("B-cubed precision %v, want %v", b.Precision, 11.0/15)
+	}
+	// Recall per ref: 1:2/3, 2:2/3, 3:1/3, 4:1, 5:1 -> mean 11/15.
+	if !approx(b.Recall, 11.0/15) {
+		t.Errorf("B-cubed recall %v", b.Recall)
+	}
+}
+
+func TestBCubedErrors(t *testing.T) {
+	if _, err := BCubed(Clustering{ids(1)}, Clustering{ids(1, 2)}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := BCubed(Clustering{ids(1, 1)}, Clustering{ids(1), ids(2)}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := BCubed(Clustering{ids(1, 3)}, Clustering{ids(1, 2)}); err == nil {
+		t.Error("disjoint sets accepted")
+	}
+}
+
+// randomPartition splits 0..n-1 into random clusters.
+func randomPartition(rng *rand.Rand, n, k int) Clustering {
+	c := make(Clustering, k)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(k)
+		c[j] = append(c[j], reldb.TupleID(i))
+	}
+	out := c[:0]
+	for _, cl := range c {
+		if len(cl) > 0 {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// Properties: metrics are bounded in [0,1]; evaluating a clustering against
+// itself is perfect; pairwise counts sum to n(n-1)/2.
+func TestEvaluateProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		gold := randomPartition(rng, n, 1+rng.Intn(5))
+		pred := randomPartition(rng, n, 1+rng.Intn(5))
+		m, err := Evaluate(pred, gold)
+		if err != nil {
+			return false
+		}
+		if m.TP+m.FP+m.FN+m.TN != n*(n-1)/2 {
+			return false
+		}
+		for _, v := range []float64{m.Precision, m.Recall, m.F1, m.Accuracy} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		self, err := Evaluate(gold, gold)
+		if err != nil || self.F1 != 1 || self.Accuracy != 1 {
+			return false
+		}
+		b, err := BCubed(pred, gold)
+		if err != nil || b.Precision < 0 || b.Precision > 1 || b.Recall < 0 || b.Recall > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCitationLinkage(t *testing.T) {
+	h := newTestHarness(t)
+	rows, err := h.CitationLinkage([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].CitationsPerPaper != 0 || rows[1].CitationsPerPaper != 3 {
+		t.Errorf("levels %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Average.F1 <= 0 || r.Average.F1 > 1 {
+			t.Errorf("f %v out of range", r.Average.F1)
+		}
+	}
+	// Extra linkage must not cost much quality (small worlds are noisy, so
+	// require no collapse rather than strict improvement).
+	if rows[1].Average.F1 < rows[0].Average.F1-0.15 {
+		t.Errorf("citations hurt badly: %v -> %v", rows[0].Average.F1, rows[1].Average.F1)
+	}
+	out := FormatCitations(rows)
+	if !strings.Contains(out, "cites/paper") {
+		t.Errorf("FormatCitations:\n%s", out)
+	}
+}
+
+func TestExpansionAblation(t *testing.T) {
+	h := newTestHarness(t)
+	rows, err := h.ExpansionAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Expansion adds join paths.
+	if rows[0].NumPaths <= rows[1].NumPaths {
+		t.Errorf("expansion did not add paths: %d vs %d", rows[0].NumPaths, rows[1].NumPaths)
+	}
+	if rows[2].NumPaths != rows[0].NumPaths || rows[3].NumPaths != rows[1].NumPaths {
+		t.Error("path counts inconsistent across supervision modes")
+	}
+	for _, r := range rows {
+		if r.Average.F1 < 0 || r.Average.F1 > 1 {
+			t.Errorf("%s: f %v", r.Label, r.Average.F1)
+		}
+	}
+	out := FormatExpansion(rows)
+	if !strings.Contains(out, "DISTINCT") || !strings.Contains(out, "#paths") {
+		t.Errorf("FormatExpansion:\n%s", out)
+	}
+}

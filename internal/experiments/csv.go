@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exporters for every experiment, so the tables and figures can be
+// re-plotted with external tooling. Each writer emits a header row and one
+// record per data point.
+
+// WriteTable1CSV writes the ambiguous-name dataset.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "authors", "refs"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Name, strconv.Itoa(r.Authors), strconv.Itoa(r.Refs)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV writes per-name metrics plus the average row.
+func WriteTable2CSV(w io.Writer, res *Table2Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "precision", "recall", "f_measure", "accuracy"}); err != nil {
+		return err
+	}
+	write := func(name string, p, r, f, a float64) error {
+		return cw.Write([]string{name, f6(p), f6(r), f6(f), f6(a)})
+	}
+	for _, row := range res.Rows {
+		m := row.Metrics
+		if err := write(row.Name, m.Precision, m.Recall, m.F1, m.Accuracy); err != nil {
+			return err
+		}
+	}
+	a := res.Average
+	if err := write("average", a.Precision, a.Recall, a.F1, a.Accuracy); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure4CSV writes the variant comparison (also used for ablations).
+func WriteFigure4CSV(w io.Writer, rows []Figure4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"variant", "accuracy", "f_measure", "min_sim"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Variant, f6(r.Accuracy), f6(r.F1), f6(r.MinSim)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalingCSV writes the scaling curve.
+func WriteScalingCSV(w io.Writer, rows []ScalingRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"references", "papers", "train_ms", "disambiguate_ms", "avg_f"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.References),
+			strconv.Itoa(r.Papers),
+			fmt.Sprintf("%.1f", float64(r.TrainTime.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(r.Disambig.Microseconds())/1000),
+			f6(r.AvgF1),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f6(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"distinct/internal/eval"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWriteTable1CSV(t *testing.T) {
+	rows := []Table1Row{{Name: "Wei Wang", Authors: 14, Refs: 143}, {Name: "Bin Yu", Authors: 5, Refs: 44}}
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 3 || recs[0][0] != "name" || recs[1][0] != "Wei Wang" || recs[1][2] != "143" {
+		t.Errorf("records %v", recs)
+	}
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	res := &Table2Result{
+		Rows: []Table2Row{{
+			Name:    "Wei Wang",
+			Metrics: eval.Metrics{Precision: 0.9, Recall: 0.8, F1: 0.847, Accuracy: 0.95},
+		}},
+		Average: eval.Metrics{Precision: 0.9, Recall: 0.8, F1: 0.847, Accuracy: 0.95},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 3 {
+		t.Fatalf("records %v", recs)
+	}
+	if recs[2][0] != "average" || !strings.HasPrefix(recs[1][1], "0.9") {
+		t.Errorf("records %v", recs)
+	}
+}
+
+func TestWriteFigure4CSV(t *testing.T) {
+	rows := []Figure4Row{{Variant: "DISTINCT", Accuracy: 0.95, F1: 0.9, MinSim: 0.01}}
+	var buf bytes.Buffer
+	if err := WriteFigure4CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 2 || recs[1][0] != "DISTINCT" {
+		t.Errorf("records %v", recs)
+	}
+}
+
+func TestWriteScalingCSV(t *testing.T) {
+	rows := []ScalingRow{{
+		References: 1000, Papers: 300,
+		TrainTime: 150 * time.Millisecond, Disambig: time.Second, AvgF1: 0.91,
+	}}
+	var buf bytes.Buffer
+	if err := WriteScalingCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 2 || recs[1][0] != "1000" || recs[1][2] != "150.0" {
+		t.Errorf("records %v", recs)
+	}
+}
+
+func TestScalingSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling run is a few seconds")
+	}
+	h := newTestHarness(t)
+	rows, err := h.Scaling([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.References <= 0 || r.TrainTime <= 0 || r.Disambig <= 0 {
+		t.Errorf("row %+v", r)
+	}
+	if r.AvgF1 < 0.5 {
+		t.Errorf("scaling world quality %v suspiciously low", r.AvgF1)
+	}
+	out := FormatScaling(rows)
+	if !strings.Contains(out, "62.1") || !strings.Contains(out, "avg-f") {
+		t.Errorf("FormatScaling:\n%s", out)
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"distinct/internal/music"
+)
+
+func TestMusicEvaluation(t *testing.T) {
+	cfg := music.DefaultConfig()
+	cfg.ArtistsPerGenre = 8
+	res, err := MusicEvaluation(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Ambiguous) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.MinSim <= 0 {
+		t.Error("tuning did not pick a threshold")
+	}
+	for _, r := range res.Rows {
+		if r.Metrics.F1 < 0 || r.Metrics.F1 > 1 {
+			t.Errorf("%s: f %v", r.Title, r.Metrics.F1)
+		}
+		if r.Refs == 0 || r.Songs < 2 {
+			t.Errorf("row %+v malformed", r)
+		}
+	}
+	// The engine transfers across domains: it should do far better than
+	// chance on the catalog.
+	if res.Average.F1 < 0.6 {
+		t.Errorf("cross-domain average f %v", res.Average.F1)
+	}
+	out := FormatMusic(res)
+	if !strings.Contains(out, "Forgotten") || !strings.Contains(out, "average") {
+		t.Errorf("FormatMusic:\n%s", out)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"distinct/internal/dblp"
+	"distinct/internal/eval"
+)
+
+// NoiseRow is one point of the noise-sensitivity experiment: the world's
+// cross-community collaboration probability and DISTINCT's quality there.
+type NoiseRow struct {
+	CrossCommunityProb float64
+	Average            eval.Metrics
+}
+
+// NoiseSensitivity probes how DISTINCT degrades as the misleading linkages
+// grow — the cross-community collaborations that connect same-named authors
+// from different communities (the paper's Figure 5 blames exactly these for
+// its mistakes). Each level regenerates the world with that
+// CrossCommunityProb and reruns the full Table 2 protocol. levels nil means
+// {0, 0.05, 0.1, 0.2, 0.3}.
+func (h *Harness) NoiseSensitivity(levels []float64) ([]NoiseRow, error) {
+	if len(levels) == 0 {
+		levels = []float64{0, 0.05, 0.1, 0.2, 0.3}
+	}
+	var rows []NoiseRow
+	for _, lv := range levels {
+		cfg := h.Opts.World
+		cfg.CrossCommunityProb = lv
+		world, err := dblp.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: noise level %v: %w", lv, err)
+		}
+		sub, err := NewHarnessWorld(world, Options{
+			MinSim:        h.Opts.MinSim,
+			MinSimGrid:    h.Opts.MinSimGrid,
+			TrainPositive: h.Opts.TrainPositive,
+			TrainNegative: h.Opts.TrainNegative,
+			Seed:          h.Opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sub.Table2()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, NoiseRow{CrossCommunityProb: lv, Average: res.Average})
+	}
+	return rows, nil
+}
+
+// FormatNoise renders the noise-sensitivity rows.
+func FormatNoise(rows []NoiseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %10s %8s %10s\n", "cross-comm p", "precision", "recall", "f-measure")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12.2f %10.3f %8.3f %10.3f  %s\n",
+			r.CrossCommunityProb, r.Average.Precision, r.Average.Recall, r.Average.F1, bar(r.Average.F1))
+	}
+	return b.String()
+}
+
+// WriteNoiseCSV writes the rows as CSV.
+func WriteNoiseCSV(w io.Writer, rows []NoiseRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cross_community_prob", "precision", "recall", "f_measure"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.FormatFloat(r.CrossCommunityProb, 'g', -1, 64),
+			f6(r.Average.Precision), f6(r.Average.Recall), f6(r.Average.F1),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

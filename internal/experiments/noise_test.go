@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNoiseSensitivitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates worlds")
+	}
+	h := newTestHarness(t)
+	rows, err := h.NoiseSensitivity([]float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Average.F1 < 0 || r.Average.F1 > 1 {
+			t.Errorf("f-measure %v out of range", r.Average.F1)
+		}
+	}
+	// More cross-community noise must not make the task easier by a wide
+	// margin (small worlds are noisy, so allow slack rather than demanding
+	// strict monotonicity).
+	if rows[1].Average.F1 > rows[0].Average.F1+0.15 {
+		t.Errorf("heavy noise improved quality: %v -> %v", rows[0].Average.F1, rows[1].Average.F1)
+	}
+
+	out := FormatNoise(rows)
+	if !strings.Contains(out, "cross-comm p") {
+		t.Errorf("FormatNoise:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteNoiseCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 3 || recs[0][0] != "cross_community_prob" {
+		t.Errorf("CSV records %v", recs)
+	}
+}

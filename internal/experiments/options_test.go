@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"distinct/internal/core"
+)
+
+func TestOptionsWithDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.World.Communities == 0 {
+		t.Error("world default not applied")
+	}
+	if o.MinSim != core.DefaultMinSim {
+		t.Errorf("MinSim default %v", o.MinSim)
+	}
+	if len(o.MinSimGrid) == 0 {
+		t.Error("grid default not applied")
+	}
+	if o.TrainPositive != 1000 || o.TrainNegative != 1000 {
+		t.Errorf("training defaults %d/%d", o.TrainPositive, o.TrainNegative)
+	}
+	// Explicit values survive.
+	o = Options{MinSim: 0.5, TrainPositive: 7, TrainNegative: 9, MinSimGrid: []float64{1}}.withDefaults()
+	if o.MinSim != 0.5 || o.TrainPositive != 7 || o.TrainNegative != 9 || len(o.MinSimGrid) != 1 {
+		t.Errorf("explicit options clobbered: %+v", o)
+	}
+}
+
+func TestHarnessEngineAccessor(t *testing.T) {
+	h := newTestHarness(t)
+	e := h.Engine()
+	if e == nil || len(e.Paths()) == 0 {
+		t.Error("Engine accessor broken")
+	}
+}

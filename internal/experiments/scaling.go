@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"distinct/internal/dblp"
+)
+
+// ScalingRow is one point of the scaling experiment: a world size, the
+// training pipeline duration there, the total disambiguation time for the
+// ten ambiguous names, and the resulting quality.
+type ScalingRow struct {
+	Communities int
+	Authors     int // per community
+	References  int
+	Papers      int
+	TrainTime   time.Duration
+	Disambig    time.Duration
+	AvgF1       float64
+}
+
+// Scaling extends the paper's single timing figure (62.1 s on full DBLP)
+// into a curve: it generates worlds of increasing size — same ambiguous-
+// name profile, more ordinary authors around them — and measures the full
+// pipeline at each scale. scales gives the multipliers over a small base
+// (communities × authors); nil means {1, 2, 4}.
+func (h *Harness) Scaling(scales []int) ([]ScalingRow, error) {
+	if len(scales) == 0 {
+		scales = []int{1, 2, 4}
+	}
+	var rows []ScalingRow
+	for _, s := range scales {
+		cfg := h.Opts.World
+		cfg.Communities = 8 * s
+		cfg.AuthorsPerCommunity = 60
+		world, err := dblp.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling x%d: %w", s, err)
+		}
+		sub, err := NewHarnessWorld(world, Options{
+			MinSim:        h.Opts.MinSim,
+			MinSimGrid:    h.Opts.MinSimGrid,
+			TrainPositive: h.Opts.TrainPositive,
+			TrainNegative: h.Opts.TrainNegative,
+			Seed:          h.Opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := sub.Train(); err != nil {
+			return nil, err
+		}
+		trainDur := time.Since(t0)
+
+		t0 = time.Now()
+		res, err := sub.Table2()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Communities: cfg.Communities,
+			Authors:     cfg.AuthorsPerCommunity,
+			References:  world.NumReferences(),
+			Papers:      world.NumPapers(),
+			TrainTime:   trainDur,
+			Disambig:    time.Since(t0),
+			AvgF1:       res.Average.F1,
+		})
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the scaling rows.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %12s %14s %8s\n", "refs", "papers", "train", "disambiguate", "avg-f")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d %10d %12v %14v %8.3f\n",
+			r.References, r.Papers, r.TrainTime.Round(time.Millisecond),
+			r.Disambig.Round(time.Millisecond), r.AvgF1)
+	}
+	b.WriteString("(paper: training on full DBLP, 1.29M references, took 62.1 s)\n")
+	return b.String()
+}

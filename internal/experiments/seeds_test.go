@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeedSweep(t *testing.T) {
+	h := newTestHarness(t)
+	sum, err := h.SeedSweep([]int64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 2 {
+		t.Fatalf("rows = %d", len(sum.Rows))
+	}
+	wantMean := (sum.Rows[0].Average.F1 + sum.Rows[1].Average.F1) / 2
+	if math.Abs(sum.MeanF1-wantMean) > 1e-12 {
+		t.Errorf("mean %v, want %v", sum.MeanF1, wantMean)
+	}
+	if sum.StdF1 < 0 {
+		t.Errorf("negative std %v", sum.StdF1)
+	}
+	out := FormatSeeds(sum)
+	if !strings.Contains(out, "mean f-measure") {
+		t.Errorf("FormatSeeds:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteSeedsCSV(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 3 || recs[1][0] != "3" {
+		t.Errorf("CSV %v", recs)
+	}
+	// Single seed: std is zero by definition.
+	one, err := h.SeedSweep([]int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.StdF1 != 0 {
+		t.Errorf("single-seed std %v", one.StdF1)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"distinct/internal/eval"
+)
+
+// TrainSizeRow is one point of the training-size experiment.
+type TrainSizeRow struct {
+	// PairsPerClass is the number of positive (and negative) pairs.
+	PairsPerClass int
+	// ResemAccuracy is the resemblance SVM's training accuracy.
+	ResemAccuracy float64
+	Average       eval.Metrics
+}
+
+// TrainSizeSensitivity probes how much automatic supervision DISTINCT
+// actually needs: the paper constructs 1000+1000 pairs, but the rare-name
+// trick makes examples free, so the interesting question is how quickly
+// quality saturates. Each size retrains on the same world and reruns the
+// Table 2 protocol. sizes nil means {25, 100, 400, 1000}.
+func (h *Harness) TrainSizeSensitivity(sizes []int) ([]TrainSizeRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{25, 100, 400, 1000}
+	}
+	var rows []TrainSizeRow
+	for _, n := range sizes {
+		sub, err := NewHarnessWorld(h.World, Options{
+			MinSim:        h.Opts.MinSim,
+			MinSimGrid:    h.Opts.MinSimGrid,
+			TrainPositive: n,
+			TrainNegative: n,
+			Seed:          h.Opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sub.Train()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: train size %d: %w", n, err)
+		}
+		res, err := sub.Table2()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TrainSizeRow{
+			PairsPerClass: n,
+			ResemAccuracy: rep.ResemAccuracy,
+			Average:       res.Average,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTrainSize renders the rows.
+func FormatTrainSize(rows []TrainSizeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %9s %10s %8s %10s\n", "pairs/class", "svm-acc", "precision", "recall", "f-measure")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12d %9.3f %10.3f %8.3f %10.3f  %s\n",
+			r.PairsPerClass, r.ResemAccuracy,
+			r.Average.Precision, r.Average.Recall, r.Average.F1, bar(r.Average.F1))
+	}
+	b.WriteString("(paper: 1000 positive + 1000 negative automatic pairs)\n")
+	return b.String()
+}
+
+// WriteTrainSizeCSV writes the rows as CSV.
+func WriteTrainSizeCSV(w io.Writer, rows []TrainSizeRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pairs_per_class", "svm_accuracy", "precision", "recall", "f_measure"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.PairsPerClass), f6(r.ResemAccuracy),
+			f6(r.Average.Precision), f6(r.Average.Recall), f6(r.Average.F1),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTrainSizeSensitivity(t *testing.T) {
+	h := newTestHarness(t)
+	rows, err := h.TrainSizeSensitivity([]int{20, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ResemAccuracy < 0.5 {
+			t.Errorf("size %d: svm accuracy %v at chance", r.PairsPerClass, r.ResemAccuracy)
+		}
+		if r.Average.F1 <= 0 || r.Average.F1 > 1 {
+			t.Errorf("size %d: f %v", r.PairsPerClass, r.Average.F1)
+		}
+	}
+	out := FormatTrainSize(rows)
+	if !strings.Contains(out, "pairs/class") || !strings.Contains(out, "1000 positive") {
+		t.Errorf("FormatTrainSize:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrainSizeCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 3 || recs[1][0] != "20" {
+		t.Errorf("CSV %v", recs)
+	}
+}

@@ -1,0 +1,157 @@
+// Package linkage implements the complementary direction to object
+// distinction: record linkage over names. Where DISTINCT splits identical
+// names denoting several objects, this package finds *differently written*
+// names that may denote one object ("Wei Wang" vs "Wei K. Wang").
+//
+// Candidates come from an approximate string join in the style of Gravano
+// et al. (VLDB 2001) — the paper's reference [7]: an inverted index from
+// q-grams to names with a count filter turns the all-pairs comparison into
+// a near-linear scan, and only candidates passing the q-gram count bound
+// are scored exactly. Each surviving pair can then be verified
+// relationally with a caller-supplied affinity (e.g. the DISTINCT engine's
+// combined similarity between the two names' reference sets): two
+// spellings of one person share coauthors and venues, two different people
+// with similar names do not.
+package linkage
+
+import (
+	"fmt"
+	"sort"
+
+	"distinct/internal/reldb"
+	"distinct/internal/strsim"
+)
+
+// Options configures duplicate-name detection.
+type Options struct {
+	// Q is the q-gram size (default 3).
+	Q int
+	// MinStringSim is the q-gram Jaccard threshold for candidates
+	// (default 0.5).
+	MinStringSim float64
+	// MaxPairs caps the returned pairs (0 = no cap).
+	MaxPairs int
+	// Verify, if set, scores a candidate pair relationally; pairs are
+	// returned sorted by Verify score, then string similarity. Without it
+	// pairs sort by string similarity alone.
+	Verify func(a, b string) float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Q <= 0 {
+		o.Q = 3
+	}
+	if o.MinStringSim <= 0 {
+		o.MinStringSim = 0.5
+	}
+	return o
+}
+
+// NamePair is one candidate duplicate: two distinct names with their
+// string similarity and (when verification is enabled) relational affinity.
+type NamePair struct {
+	A, B          string
+	StringSim     float64
+	RelationalSim float64
+}
+
+// FindDuplicateNames runs the approximate string join over the keys of the
+// name relation referenced by refRel.refAttr and returns candidate
+// duplicate names.
+func FindDuplicateNames(db *reldb.Database, refRel, refAttr string, opts Options) ([]NamePair, error) {
+	opts = opts.withDefaults()
+	rs := db.Schema.Relation(refRel)
+	if rs == nil {
+		return nil, fmt.Errorf("linkage: unknown relation %q", refRel)
+	}
+	ai := rs.AttrIndex(refAttr)
+	if ai < 0 || rs.Attrs[ai].FK == "" {
+		return nil, fmt.Errorf("linkage: %s.%s is not a foreign key to a name relation", refRel, refAttr)
+	}
+	nameRel := db.Relation(rs.Attrs[ai].FK)
+	ki := nameRel.Schema.KeyIndex()
+	names := make([]string, 0, nameRel.Size())
+	for _, id := range nameRel.TupleIDs() {
+		names = append(names, db.Tuple(id).Vals[ki])
+	}
+	return Join(names, opts), nil
+}
+
+// Join runs the approximate string join over an explicit name list.
+// Duplicate entries are collapsed first: the join reports pairs of
+// *distinct* names.
+func Join(names []string, opts Options) []NamePair {
+	opts = opts.withDefaults()
+	seen := make(map[string]bool, len(names))
+	uniq := names[:0:0]
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	names = uniq
+
+	// Inverted index: q-gram -> names containing it (by index).
+	grams := make([]map[string]int, len(names))
+	index := make(map[string][]int)
+	for i, n := range names {
+		g := strsim.QGrams(n, opts.Q)
+		grams[i] = g
+		for gram := range g {
+			index[gram] = append(index[gram], i)
+		}
+	}
+
+	// Candidate generation with overlap counting: for each name, count
+	// shared grams with every later name sharing at least one gram.
+	var pairs []NamePair
+	counted := make(map[int]int)
+	for i := range names {
+		clear(counted)
+		for gram := range grams[i] {
+			for _, j := range index[gram] {
+				if j > i {
+					counted[j]++
+				}
+			}
+		}
+		for j, shared := range counted {
+			// Count filter: Jaccard >= t requires the shared distinct-gram
+			// count to be at least t/(1+t) of the smaller gram set; a
+			// cheaper sound bound is shared >= t * min(|A|,|B|) / (1+t).
+			minSet := len(grams[i])
+			if len(grams[j]) < minSet {
+				minSet = len(grams[j])
+			}
+			if float64(shared) < opts.MinStringSim/(1+opts.MinStringSim)*float64(minSet) {
+				continue
+			}
+			s := strsim.QGramJaccard(names[i], names[j], opts.Q)
+			if s < opts.MinStringSim {
+				continue
+			}
+			p := NamePair{A: names[i], B: names[j], StringSim: s}
+			if opts.Verify != nil {
+				p.RelationalSim = opts.Verify(p.A, p.B)
+			}
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].RelationalSim != pairs[b].RelationalSim {
+			return pairs[a].RelationalSim > pairs[b].RelationalSim
+		}
+		if pairs[a].StringSim != pairs[b].StringSim {
+			return pairs[a].StringSim > pairs[b].StringSim
+		}
+		if pairs[a].A != pairs[b].A {
+			return pairs[a].A < pairs[b].A
+		}
+		return pairs[a].B < pairs[b].B
+	})
+	if opts.MaxPairs > 0 && len(pairs) > opts.MaxPairs {
+		pairs = pairs[:opts.MaxPairs]
+	}
+	return pairs
+}

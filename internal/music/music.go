@@ -1,0 +1,363 @@
+// Package music generates synthetic music catalogs shaped like the
+// allmusic.com database the DISTINCT paper's introduction motivates with
+// ("there are 72 songs and 3 albums named 'Forgotten'"): songs appearing
+// on albums by artists under labels, with several distinct songs sharing
+// one title. Ground truth is retained, so the catalog serves as a second,
+// non-bibliographic evaluation domain for the object-distinction engine —
+// the paper presents DISTINCT as a general methodology, and nothing in the
+// engine is DBLP-specific.
+//
+// Schema:
+//
+//	Titles(title)                                  – the shared names
+//	Tracks(title -> Titles, album -> Albums)       – the references
+//	Albums(album, artist -> Artists, label -> Labels, year)
+//	Artists(artist, genre)
+//	Labels(label)
+//
+// A song is identified by (artist, title); its references are the track
+// rows for that title on the artist's albums (original releases,
+// compilations, re-releases). The structural signal mirrors the
+// bibliographic world's: re-releases share the artist, label, and
+// album-mates, while two same-titled songs by different artists share at
+// most a label or a year.
+package music
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distinct/internal/reldb"
+)
+
+// AmbiguousTitle is one injected title shared by several distinct songs.
+type AmbiguousTitle struct {
+	// Title is the shared song title, e.g. "Forgotten".
+	Title string
+	// AppearancesPerSong gives, per distinct song, on how many albums it
+	// appears (each appearance is one reference).
+	AppearancesPerSong []int
+}
+
+// NumSongs returns the number of distinct songs sharing the title.
+func (a AmbiguousTitle) NumSongs() int { return len(a.AppearancesPerSong) }
+
+// NumRefs returns the total number of track references to the title.
+func (a AmbiguousTitle) NumRefs() int {
+	n := 0
+	for _, r := range a.AppearancesPerSong {
+		n += r
+	}
+	return n
+}
+
+// Config controls catalog generation.
+type Config struct {
+	Seed int64
+
+	// Genres is the number of genres; artists, labels and most linkage
+	// stay inside one genre.
+	Genres int
+	// ArtistsPerGenre and LabelsPerGenre size the catalog.
+	ArtistsPerGenre, LabelsPerGenre int
+	// AlbumsPerArtist is the mean number of albums per artist.
+	AlbumsPerArtist int
+	// TracksPerAlbum is the mean number of tracks per album.
+	TracksPerAlbum int
+	// SignatureSongs is how many recurring songs an artist re-releases
+	// across albums; SignatureProb is the chance a track slot reuses one.
+	SignatureSongs int
+	SignatureProb  float64
+	// YearFrom / YearTo bound album years.
+	YearFrom, YearTo int
+
+	// Ambiguous lists the injected shared titles.
+	Ambiguous []AmbiguousTitle
+}
+
+// DefaultConfig returns a catalog in which four, six and three distinct
+// songs share the titles "Forgotten", "Home" and "Rain" respectively.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Genres:          4,
+		ArtistsPerGenre: 10,
+		LabelsPerGenre:  2,
+		AlbumsPerArtist: 4,
+		TracksPerAlbum:  10,
+		SignatureSongs:  3,
+		SignatureProb:   0.3,
+		YearFrom:        1980,
+		YearTo:          2006,
+		Ambiguous: []AmbiguousTitle{
+			{Title: "Forgotten", AppearancesPerSong: []int{4, 3, 3, 2}},
+			{Title: "Home", AppearancesPerSong: []int{4, 3, 3, 2, 2, 2}},
+			{Title: "Rain", AppearancesPerSong: []int{3, 2, 2}},
+		},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Genres <= 0:
+		return fmt.Errorf("music: Genres must be positive")
+	case c.ArtistsPerGenre <= 0 || c.LabelsPerGenre <= 0:
+		return fmt.Errorf("music: artists and labels per genre must be positive")
+	case c.AlbumsPerArtist < 2:
+		return fmt.Errorf("music: AlbumsPerArtist must be at least 2 (re-releases need albums)")
+	case c.TracksPerAlbum < 2:
+		return fmt.Errorf("music: TracksPerAlbum must be at least 2")
+	case c.SignatureSongs < 0 || c.SignatureProb < 0 || c.SignatureProb > 1:
+		return fmt.Errorf("music: bad signature parameters")
+	case c.YearTo < c.YearFrom:
+		return fmt.Errorf("music: YearTo before YearFrom")
+	}
+	for _, a := range c.Ambiguous {
+		if a.Title == "" || a.NumSongs() == 0 {
+			return fmt.Errorf("music: malformed ambiguous title %+v", a)
+		}
+		for _, n := range a.AppearancesPerSong {
+			if n < 1 {
+				return fmt.Errorf("music: title %q has a song with %d appearances", a.Title, n)
+			}
+		}
+	}
+	return nil
+}
+
+// SongID identifies a real song (the ground-truth object).
+type SongID int
+
+// Catalog is a generated music world with ground truth.
+type Catalog struct {
+	Config Config
+	DB     *reldb.Database
+
+	// RefSong maps each Tracks tuple to its real song.
+	RefSong map[reldb.TupleID]SongID
+	// SongArtist gives each song's artist.
+	SongArtist []string
+
+	refsByTitle map[string][]reldb.TupleID
+}
+
+// Schema returns the catalog schema.
+func Schema() *reldb.Schema {
+	return reldb.MustSchema(
+		reldb.MustRelationSchema("Titles", reldb.Attribute{Name: "title", Key: true}),
+		reldb.MustRelationSchema("Tracks",
+			reldb.Attribute{Name: "title", FK: "Titles"},
+			reldb.Attribute{Name: "album", FK: "Albums"},
+		),
+		reldb.MustRelationSchema("Albums",
+			reldb.Attribute{Name: "album", Key: true},
+			reldb.Attribute{Name: "artist", FK: "Artists"},
+			reldb.Attribute{Name: "label", FK: "Labels"},
+			reldb.Attribute{Name: "year"},
+		),
+		reldb.MustRelationSchema("Artists",
+			reldb.Attribute{Name: "artist", Key: true},
+			reldb.Attribute{Name: "genre"},
+		),
+		reldb.MustRelationSchema("Labels", reldb.Attribute{Name: "label", Key: true}),
+	)
+}
+
+// ReferenceRelation and ReferenceAttr locate the references.
+const (
+	ReferenceRelation = "Tracks"
+	ReferenceAttr     = "title"
+)
+
+var genreNames = []string{
+	"rock", "jazz", "electronic", "folk", "classical", "hiphop", "country", "metal",
+}
+
+var word1 = []string{
+	"Midnight", "Silver", "Broken", "Electric", "Golden", "Silent", "Wild",
+	"Burning", "Frozen", "Crimson", "Velvet", "Hollow", "Distant", "Neon",
+	"Paper", "Iron", "Glass", "Violet", "Echoing", "Fading", "Scarlet",
+	"Wandering", "Sleeping", "Rising", "Falling", "Hidden", "Lonely",
+	"Restless", "Shattered", "Gentle", "Bitter", "Amber", "Pale", "Last",
+	"First", "Endless", "Quiet", "Roaring", "Drifting", "Sacred",
+}
+
+var word2 = []string{
+	"Rain", "Road", "Heart", "Dream", "River", "Sky", "Fire", "Dance",
+	"Shadow", "Mirror", "Train", "Garden", "Letter", "Season", "Harbor",
+	"Window", "Circle", "Lantern", "Meadow", "Thunder", "Valley", "Coast",
+	"Bridge", "Tower", "Island", "Desert", "Forest", "Ocean", "Canyon",
+	"Street", "Morning", "Evening", "Winter", "Summer", "Stranger",
+	"Promise", "Secret", "Whisper", "Echo", "Horizon",
+}
+
+// Generate builds a catalog deterministically from the configuration.
+func Generate(cfg Config) (*Catalog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := &Catalog{
+		Config:      cfg,
+		DB:          reldb.NewDatabase(Schema()),
+		RefSong:     make(map[reldb.TupleID]SongID),
+		refsByTitle: make(map[string][]reldb.TupleID),
+	}
+	db := cat.DB
+
+	injected := make(map[string]bool, len(cfg.Ambiguous))
+	for _, a := range cfg.Ambiguous {
+		injected[a.Title] = true
+	}
+	titles := make(map[string]bool)
+	addTitle := func(t string) {
+		if !titles[t] {
+			db.MustInsert("Titles", t)
+			titles[t] = true
+		}
+	}
+	// pickWord skews toward the head of the pool, leaving a rare tail for
+	// the automatic training set.
+	pickWord := func(pool []string) string {
+		u := rng.Float64()
+		return pool[int(float64(len(pool))*u*u*u)]
+	}
+	sampleTitle := func() string {
+		for {
+			t := pickWord(word1) + " " + pickWord(word2)
+			if !injected[t] {
+				return t
+			}
+		}
+	}
+
+	// Artists, labels, albums.
+	artistAlbums := make(map[string][]string)
+	var artists []string
+	for g := 0; g < cfg.Genres; g++ {
+		genre := genreNames[g%len(genreNames)]
+		if g >= len(genreNames) {
+			genre = fmt.Sprintf("%s-%d", genre, g/len(genreNames))
+		}
+		for l := 0; l < cfg.LabelsPerGenre; l++ {
+			db.MustInsert("Labels", fmt.Sprintf("%s-label-%d", genre, l))
+		}
+		for a := 0; a < cfg.ArtistsPerGenre; a++ {
+			artist := fmt.Sprintf("%s-artist-%d", genre, a)
+			db.MustInsert("Artists", artist, genre)
+			artists = append(artists, artist)
+			n := cfg.AlbumsPerArtist + rng.Intn(3) - 1
+			if n < 2 {
+				n = 2
+			}
+			for al := 0; al < n; al++ {
+				album := fmt.Sprintf("%s/album-%d", artist, al)
+				label := fmt.Sprintf("%s-label-%d", genre, rng.Intn(cfg.LabelsPerGenre))
+				year := fmt.Sprintf("%d", cfg.YearFrom+rng.Intn(cfg.YearTo-cfg.YearFrom+1))
+				db.MustInsert("Albums", album, artist, label, year)
+				artistAlbums[artist] = append(artistAlbums[artist], album)
+			}
+		}
+	}
+
+	// Ordinary tracks with recurring signature songs.
+	for _, artist := range artists {
+		signatures := make([]string, cfg.SignatureSongs)
+		for i := range signatures {
+			signatures[i] = sampleTitle()
+		}
+		for _, album := range artistAlbums[artist] {
+			n := cfg.TracksPerAlbum + rng.Intn(5) - 2
+			if n < 2 {
+				n = 2
+			}
+			used := make(map[string]bool)
+			for t := 0; t < n; t++ {
+				var title string
+				if len(signatures) > 0 && rng.Float64() < cfg.SignatureProb {
+					title = signatures[rng.Intn(len(signatures))]
+				} else {
+					title = sampleTitle()
+				}
+				if used[title] {
+					continue
+				}
+				used[title] = true
+				addTitle(title)
+				db.MustInsert("Tracks", title, album)
+			}
+		}
+	}
+
+	// Injected ambiguous titles: each distinct song belongs to a different
+	// artist (cycling genres) and appears on several of their albums.
+	for _, amb := range cfg.Ambiguous {
+		addTitle(amb.Title)
+		base := rng.Intn(len(artists))
+		step := len(artists)/amb.NumSongs() + 1
+		used := make(map[string]bool)
+		for si, appearances := range amb.AppearancesPerSong {
+			// Pick the next artist (cycling) with enough albums for the
+			// requested appearance count and not already carrying this
+			// title; the scan terminates because appearance counts are
+			// validated against AlbumsPerArtist's minimum of 2 and the
+			// catalog always has more artists than songs per title.
+			var artist string
+			for off := 0; off < len(artists); off++ {
+				cand := artists[(base+si*step+off)%len(artists)]
+				if !used[cand] && len(artistAlbums[cand]) >= appearances {
+					artist = cand
+					break
+				}
+			}
+			if artist == "" {
+				return nil, fmt.Errorf("music: no artist has %d albums for title %q; raise AlbumsPerArtist or ArtistsPerGenre", appearances, amb.Title)
+			}
+			used[artist] = true
+			id := SongID(len(cat.SongArtist))
+			cat.SongArtist = append(cat.SongArtist, artist)
+			albums := append([]string(nil), artistAlbums[artist]...)
+			rng.Shuffle(len(albums), func(i, j int) { albums[i], albums[j] = albums[j], albums[i] })
+			for _, album := range albums[:appearances] {
+				ref := db.MustInsert("Tracks", amb.Title, album)
+				cat.RefSong[ref] = id
+				cat.refsByTitle[amb.Title] = append(cat.refsByTitle[amb.Title], ref)
+			}
+		}
+	}
+	return cat, nil
+}
+
+// AmbiguousTitles returns the injected titles in configuration order.
+func (c *Catalog) AmbiguousTitles() []string {
+	out := make([]string, len(c.Config.Ambiguous))
+	for i, a := range c.Config.Ambiguous {
+		out[i] = a.Title
+	}
+	return out
+}
+
+// Refs returns the references to an ambiguous title, in insertion order.
+func (c *Catalog) Refs(title string) []reldb.TupleID { return c.refsByTitle[title] }
+
+// GoldClusters groups an ambiguous title's references by real song.
+func (c *Catalog) GoldClusters(title string) [][]reldb.TupleID {
+	var order []SongID
+	byID := make(map[SongID][]reldb.TupleID)
+	for _, ref := range c.refsByTitle[title] {
+		id := c.RefSong[ref]
+		if _, ok := byID[id]; !ok {
+			order = append(order, id)
+		}
+		byID[id] = append(byID[id], ref)
+	}
+	out := make([][]reldb.TupleID, len(order))
+	for i, id := range order {
+		out[i] = byID[id]
+	}
+	return out
+}
+
+// NumTracks returns the total number of track references.
+func (c *Catalog) NumTracks() int { return c.DB.Relation(ReferenceRelation).Size() }

@@ -1,0 +1,103 @@
+package prop
+
+import (
+	"reflect"
+	"testing"
+
+	"distinct/internal/reldb"
+)
+
+// dblpPaths enumerates realistic paths for the test schema.
+func dblpPaths(s *reldb.Schema) []reldb.JoinPath {
+	return reldb.EnumerateJoinPaths(s, "Publish", reldb.EnumerateOptions{
+		MaxLen: 4,
+		ExcludeFirst: []reldb.Step{
+			{Rel: "Publish", Attr: "author", Forward: true},
+		},
+	})
+}
+
+// TestPropagateMultiMatchesSingle is the central equivalence check: the
+// trie walk must return bit-identical neighborhoods to per-path Propagate.
+func TestPropagateMultiMatchesSingle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		db, refs := buildRandomWorld(seed)
+		paths := dblpPaths(db.Schema)
+		if len(paths) < 5 {
+			t.Fatalf("only %d paths enumerated", len(paths))
+		}
+		trie := NewTrie(paths)
+		for _, r := range refs {
+			multi := PropagateMulti(db, r, trie)
+			for pi, p := range paths {
+				single := Propagate(db, r, p)
+				if !reflect.DeepEqual(single, multi[pi]) {
+					t.Fatalf("seed %d ref %d path %s: single %v != multi %v",
+						seed, r, p, single, multi[pi])
+				}
+			}
+		}
+	}
+}
+
+func TestTrieSharesPrefixes(t *testing.T) {
+	db, _ := buildRandomWorld(1)
+	paths := dblpPaths(db.Schema)
+	trie := NewTrie(paths)
+	totalSteps := 0
+	for _, p := range paths {
+		totalSteps += p.Len()
+	}
+	nodes := trie.NumNodes()
+	if nodes >= totalSteps {
+		t.Errorf("trie has %d nodes for %d total path steps; no prefix sharing", nodes, totalSteps)
+	}
+	t.Logf("paths=%d total steps=%d trie nodes=%d (%.0f%% shared)",
+		len(paths), totalSteps, nodes, 100*(1-float64(nodes)/float64(totalSteps)))
+}
+
+func TestPropagateMultiWrongStart(t *testing.T) {
+	db, _ := buildRandomWorld(2)
+	paths := dblpPaths(db.Schema)
+	trie := NewTrie(paths)
+	author := db.LookupKey("Authors", "aA")
+	out := PropagateMulti(db, author, trie)
+	for pi, nb := range out {
+		if nb != nil {
+			t.Fatalf("path %d produced a neighborhood from the wrong relation", pi)
+		}
+	}
+}
+
+func TestNewTrieIgnoresEmptyPaths(t *testing.T) {
+	db, refs := buildRandomWorld(3)
+	paths := append([]reldb.JoinPath{{Start: "Publish"}}, dblpPaths(db.Schema)...)
+	trie := NewTrie(paths)
+	out := PropagateMulti(db, refs[0], trie)
+	// The empty path matches the start relation but has no steps; Propagate
+	// would return nil for it, and PropagateMulti leaves it nil too.
+	if out[0] != nil && len(out[0]) != 0 {
+		t.Errorf("empty path produced %v", out[0])
+	}
+}
+
+func BenchmarkPropagateSinglePaths(b *testing.B) {
+	db, refs := buildRandomWorld(5)
+	paths := dblpPaths(db.Schema)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := refs[i%len(refs)]
+		for _, p := range paths {
+			Propagate(db, r, p)
+		}
+	}
+}
+
+func BenchmarkPropagateMultiTrie(b *testing.B) {
+	db, refs := buildRandomWorld(5)
+	trie := NewTrie(dblpPaths(db.Schema))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PropagateMulti(db, refs[i%len(refs)], trie)
+	}
+}

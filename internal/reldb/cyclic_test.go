@@ -1,0 +1,111 @@
+package reldb
+
+import (
+	"testing"
+)
+
+// advisorSchema has a self-referential foreign key (an author's advisor is
+// an author), the kind of cycle real schemas contain.
+func advisorSchema(t *testing.T) *Schema {
+	t.Helper()
+	authors := MustRelationSchema("Authors",
+		Attribute{Name: "author", Key: true},
+		Attribute{Name: "advisor", FK: "Authors"},
+	)
+	publish := MustRelationSchema("Publish",
+		Attribute{Name: "author", FK: "Authors"},
+		Attribute{Name: "paper", FK: "Papers"},
+	)
+	papers := MustRelationSchema("Papers", Attribute{Name: "paper", Key: true})
+	return MustSchema(authors, publish, papers)
+}
+
+func TestEnumerateTerminatesOnCyclicSchema(t *testing.T) {
+	s := advisorSchema(t)
+	paths := EnumerateJoinPaths(s, "Publish", EnumerateOptions{MaxLen: 5})
+	if len(paths) == 0 {
+		t.Fatal("no paths on cyclic schema")
+	}
+	for _, p := range paths {
+		if err := p.Validate(s); err != nil {
+			t.Fatalf("invalid path %s: %v", p, err)
+		}
+		if p.Len() > 5 {
+			t.Fatalf("path %s exceeds cap", p)
+		}
+	}
+	// The advisor chain path must exist: Publish > author > Authors
+	// > advisor > Authors.
+	var found bool
+	for _, p := range paths {
+		if p.Len() == 3 &&
+			p.Steps[1] == (Step{Rel: "Authors", Attr: "advisor", Forward: true}) &&
+			p.Steps[2] == (Step{Rel: "Authors", Attr: "advisor", Forward: true}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("advisor-of-advisor path missing")
+	}
+}
+
+func TestSelfFKTraversal(t *testing.T) {
+	s := advisorSchema(t)
+	db := NewDatabase(s)
+	// A tiny advisor chain: carol advises bob advises alice; carol advises
+	// herself (root convention).
+	db.MustInsert("Authors", "carol", "carol")
+	db.MustInsert("Authors", "bob", "carol")
+	db.MustInsert("Authors", "alice", "bob")
+
+	alice := db.LookupKey("Authors", "alice")
+	fwd := Step{Rel: "Authors", Attr: "advisor", Forward: true}
+	got := db.Joinable(alice, fwd, InvalidTuple, nil)
+	if len(got) != 1 || db.Tuple(got[0]).Val("author") != "bob" {
+		t.Fatalf("advisor of alice = %v", got)
+	}
+	// Reverse: who does carol advise? bob, and carol herself.
+	carol := db.LookupKey("Authors", "carol")
+	rev := fwd.Inverse()
+	got = db.Joinable(carol, rev, InvalidTuple, nil)
+	if len(got) != 2 {
+		t.Fatalf("carol advises %d tuples, want 2 (bob + self row)", len(got))
+	}
+	// Excluding carol's own row leaves bob.
+	got = db.Joinable(carol, rev, carol, nil)
+	if len(got) != 1 || db.Tuple(got[0]).Val("author") != "bob" {
+		t.Fatalf("exclusion failed: %v", got)
+	}
+	if db.JoinFanout(carol, rev) != 2 {
+		t.Errorf("fanout = %d", db.JoinFanout(carol, rev))
+	}
+}
+
+// Expansion of a cyclic schema keeps FK integrity everywhere.
+func TestExpandCyclicSchemaIntegrity(t *testing.T) {
+	s := advisorSchema(t)
+	db := NewDatabase(s)
+	db.MustInsert("Authors", "root", "root")
+	db.MustInsert("Authors", "kid", "root")
+	db.MustInsert("Papers", "p1")
+	db.MustInsert("Publish", "kid", "p1")
+
+	ex, idMap, err := ExpandAttributes(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idMap) != db.NumTuples() {
+		t.Fatalf("idMap %d of %d tuples", len(idMap), db.NumTuples())
+	}
+	for _, rs := range ex.Schema.Relations() {
+		rel := ex.Relation(rs.Name)
+		for _, fi := range rs.ForeignKeys() {
+			for _, id := range rel.TupleIDs() {
+				v := ex.Tuple(id).Vals[fi]
+				if ex.LookupKey(rs.Attrs[fi].FK, v) == InvalidTuple {
+					t.Fatalf("dangling FK %s.%s = %q after expansion", rs.Name, rs.Attrs[fi].Name, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Step is one hop of a join path. Every hop traverses one foreign-key edge
+// of the schema graph, in either direction:
+//
+//   - Forward: from a tuple of Rel (the relation owning the foreign key
+//     Attr) to the single tuple it references.
+//   - Reverse (Forward == false): from a tuple of the referenced relation to
+//     every tuple of Rel whose Attr references it.
+type Step struct {
+	Rel     string // relation owning the foreign-key attribute
+	Attr    string // the foreign-key attribute
+	Forward bool
+}
+
+// From returns the relation a walker must be in before taking the step.
+func (st Step) From(s *Schema) string {
+	if st.Forward {
+		return st.Rel
+	}
+	return st.target(s)
+}
+
+// To returns the relation the step leads to.
+func (st Step) To(s *Schema) string {
+	if st.Forward {
+		return st.target(s)
+	}
+	return st.Rel
+}
+
+func (st Step) target(s *Schema) string {
+	rs := s.Relation(st.Rel)
+	if rs == nil {
+		return ""
+	}
+	ai := rs.AttrIndex(st.Attr)
+	if ai < 0 {
+		return ""
+	}
+	return rs.Attrs[ai].FK
+}
+
+// Inverse returns the same edge traversed in the opposite direction.
+func (st Step) Inverse() Step { return Step{Rel: st.Rel, Attr: st.Attr, Forward: !st.Forward} }
+
+// JoinPath is a sequence of steps starting at relation Start. It corresponds
+// to one join path in the sense of DISTINCT Definition 1: the neighbor
+// tuples of a reference along the path are the tuples of the final relation
+// reachable from the reference's tuple.
+type JoinPath struct {
+	Start string
+	Steps []Step
+}
+
+// Validate checks that the steps chain correctly from Start under schema s.
+func (p JoinPath) Validate(s *Schema) error {
+	if s.Relation(p.Start) == nil {
+		return fmt.Errorf("reldb: join path starts at unknown relation %q", p.Start)
+	}
+	cur := p.Start
+	for i, st := range p.Steps {
+		from, to := st.From(s), st.To(s)
+		if from == "" || to == "" {
+			return fmt.Errorf("reldb: join path step %d (%s.%s) does not name a foreign-key edge", i, st.Rel, st.Attr)
+		}
+		if from != cur {
+			return fmt.Errorf("reldb: join path step %d starts at %q, but walker is at %q", i, from, cur)
+		}
+		cur = to
+	}
+	return nil
+}
+
+// End returns the relation the path terminates in.
+func (p JoinPath) End(s *Schema) string {
+	cur := p.Start
+	for _, st := range p.Steps {
+		cur = st.To(s)
+	}
+	return cur
+}
+
+// Len returns the number of steps.
+func (p JoinPath) Len() int { return len(p.Steps) }
+
+// Reverse returns the path traversed backwards, starting at the end relation.
+func (p JoinPath) Reverse(s *Schema) JoinPath {
+	rev := JoinPath{Start: p.End(s), Steps: make([]Step, len(p.Steps))}
+	for i, st := range p.Steps {
+		rev.Steps[len(p.Steps)-1-i] = st.Inverse()
+	}
+	return rev
+}
+
+// String renders the path like "Publish>paper-key>Publications<paper-key<Publish".
+// Forward steps use '>', reverse steps '<'.
+func (p JoinPath) String() string {
+	var b strings.Builder
+	b.WriteString(p.Start)
+	for _, st := range p.Steps {
+		if st.Forward {
+			b.WriteByte('>')
+			b.WriteString(st.Attr)
+			b.WriteByte('>')
+		} else {
+			b.WriteByte('<')
+			b.WriteString(st.Attr)
+			b.WriteByte('<')
+		}
+		// The target relation name is implied by the edge; we still print it
+		// for readability.
+	}
+	return b.String()
+}
+
+// Describe renders the path with explicit relation names, e.g.
+// "Publish >paper-key> Publications <paper-key< Publish >author> Authors".
+func (p JoinPath) Describe(s *Schema) string {
+	var b strings.Builder
+	b.WriteString(p.Start)
+	for _, st := range p.Steps {
+		if st.Forward {
+			fmt.Fprintf(&b, " >%s> %s", st.Attr, st.To(s))
+		} else {
+			fmt.Fprintf(&b, " <%s< %s", st.Attr, st.To(s))
+		}
+	}
+	return b.String()
+}
+
+// EnumerateOptions controls join-path enumeration.
+type EnumerateOptions struct {
+	// MaxLen caps the number of steps per path. Paths of every length from 1
+	// to MaxLen are produced.
+	MaxLen int
+	// ExcludeFirst lists foreign-key edges that must not be the first step.
+	// DISTINCT excludes the edge through the reference attribute itself
+	// (e.g. Publish.author when disambiguating author references): walking
+	// through the shared name links all same-named references trivially.
+	ExcludeFirst []Step
+	// NoImmediateReversal prunes paths that traverse an edge and immediately
+	// traverse it back at the schema level. Tuple-level backtracking is
+	// always forbidden during propagation regardless of this flag; the flag
+	// additionally removes the coauthor-style "bounce" paths. DISTINCT keeps
+	// them (they are the most informative paths), so it defaults to false.
+	NoImmediateReversal bool
+}
+
+// EnumerateJoinPaths returns every join path from relation start under the
+// options, in deterministic (schema declaration, then step) order.
+func EnumerateJoinPaths(s *Schema, start string, opts EnumerateOptions) []JoinPath {
+	if s.Relation(start) == nil || opts.MaxLen <= 0 {
+		return nil
+	}
+	edges := allSteps(s)
+	var out []JoinPath
+	var rec func(cur string, steps []Step)
+	rec = func(cur string, steps []Step) {
+		if len(steps) >= opts.MaxLen {
+			return
+		}
+		for _, st := range edges {
+			if st.From(s) != cur {
+				continue
+			}
+			if len(steps) == 0 && stepIn(opts.ExcludeFirst, st) {
+				continue
+			}
+			if opts.NoImmediateReversal && len(steps) > 0 && steps[len(steps)-1] == st.Inverse() {
+				continue
+			}
+			next := append(append([]Step(nil), steps...), st)
+			out = append(out, JoinPath{Start: start, Steps: next})
+			rec(st.To(s), next)
+		}
+	}
+	rec(start, nil)
+	return out
+}
+
+// allSteps lists every traversable edge of the schema, both directions, in
+// deterministic order.
+func allSteps(s *Schema) []Step {
+	var steps []Step
+	for _, rs := range s.Relations() {
+		for _, fi := range rs.ForeignKeys() {
+			steps = append(steps,
+				Step{Rel: rs.Name, Attr: rs.Attrs[fi].Name, Forward: true},
+				Step{Rel: rs.Name, Attr: rs.Attrs[fi].Name, Forward: false},
+			)
+		}
+	}
+	return steps
+}
+
+func stepIn(set []Step, st Step) bool {
+	for _, x := range set {
+		if x == st {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+// Package reldb implements a small in-memory relational database engine:
+// schemas with primary and foreign keys, hash-indexed relations, join-path
+// enumeration over the schema graph, and the attribute-value expansion of
+// DISTINCT (Yin, Han, Yu; ICDE 2007, Section 2.1), in which every distinct
+// value of a non-key attribute becomes a tuple of a virtual relation so that
+// neighbor tuples and attribute values are handled by one mechanism.
+//
+// The engine is deliberately minimal: it supports exactly the operations the
+// DISTINCT methodology needs — keyed lookups, foreign-key traversal in both
+// directions, and join paths — rather than a general query language.
+package reldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute describes one column of a relation.
+//
+// At most one attribute per relation may be the primary key (Key == true).
+// An attribute with FK != "" is a foreign key referencing the primary key of
+// the named relation. Key and FK are mutually exclusive.
+type Attribute struct {
+	Name string
+	Key  bool   // primary key of the owning relation
+	FK   string // name of the referenced relation, "" if not a foreign key
+}
+
+// RelationSchema describes one relation: its name and ordered attributes.
+type RelationSchema struct {
+	Name  string
+	Attrs []Attribute
+
+	attrIndex map[string]int
+}
+
+// NewRelationSchema builds a relation schema and validates attribute names.
+func NewRelationSchema(name string, attrs ...Attribute) (*RelationSchema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("reldb: relation name must not be empty")
+	}
+	rs := &RelationSchema{Name: name, Attrs: attrs, attrIndex: make(map[string]int, len(attrs))}
+	keys := 0
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("reldb: relation %q: attribute %d has empty name", name, i)
+		}
+		if _, dup := rs.attrIndex[a.Name]; dup {
+			return nil, fmt.Errorf("reldb: relation %q: duplicate attribute %q", name, a.Name)
+		}
+		if a.Key && a.FK != "" {
+			return nil, fmt.Errorf("reldb: relation %q: attribute %q is both key and foreign key", name, a.Name)
+		}
+		if a.Key {
+			keys++
+		}
+		rs.attrIndex[a.Name] = i
+	}
+	if keys > 1 {
+		return nil, fmt.Errorf("reldb: relation %q: more than one primary key attribute", name)
+	}
+	return rs, nil
+}
+
+// MustRelationSchema is NewRelationSchema that panics on error; it is meant
+// for statically known schemas such as the DBLP schema.
+func MustRelationSchema(name string, attrs ...Attribute) *RelationSchema {
+	rs, err := NewRelationSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (rs *RelationSchema) AttrIndex(name string) int {
+	if i, ok := rs.attrIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// KeyIndex returns the position of the primary key attribute, or -1 if the
+// relation has no primary key.
+func (rs *RelationSchema) KeyIndex() int {
+	for i, a := range rs.Attrs {
+		if a.Key {
+			return i
+		}
+	}
+	return -1
+}
+
+// ForeignKeys returns the indexes of all foreign-key attributes.
+func (rs *RelationSchema) ForeignKeys() []int {
+	var fks []int
+	for i, a := range rs.Attrs {
+		if a.FK != "" {
+			fks = append(fks, i)
+		}
+	}
+	return fks
+}
+
+// Schema is a set of relation schemas with resolved foreign keys.
+type Schema struct {
+	relations []*RelationSchema
+	byName    map[string]*RelationSchema
+}
+
+// NewSchema validates that every foreign key references an existing relation
+// that has a primary key.
+func NewSchema(relations ...*RelationSchema) (*Schema, error) {
+	s := &Schema{byName: make(map[string]*RelationSchema, len(relations))}
+	for _, r := range relations {
+		if _, dup := s.byName[r.Name]; dup {
+			return nil, fmt.Errorf("reldb: duplicate relation %q", r.Name)
+		}
+		s.byName[r.Name] = r
+		s.relations = append(s.relations, r)
+	}
+	for _, r := range relations {
+		for _, a := range r.Attrs {
+			if a.FK == "" {
+				continue
+			}
+			target, ok := s.byName[a.FK]
+			if !ok {
+				return nil, fmt.Errorf("reldb: relation %q: attribute %q references unknown relation %q", r.Name, a.Name, a.FK)
+			}
+			if target.KeyIndex() < 0 {
+				return nil, fmt.Errorf("reldb: relation %q: attribute %q references relation %q, which has no primary key", r.Name, a.Name, a.FK)
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(relations ...*RelationSchema) *Schema {
+	s, err := NewSchema(relations...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation returns the named relation schema, or nil.
+func (s *Schema) Relation(name string) *RelationSchema { return s.byName[name] }
+
+// Relations returns the relation schemas in declaration order.
+func (s *Schema) Relations() []*RelationSchema { return s.relations }
+
+// String renders the schema in a compact one-line-per-relation form.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, r := range s.relations {
+		b.WriteString(r.Name)
+		b.WriteByte('(')
+		for i, a := range r.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Name)
+			if a.Key {
+				b.WriteString(" KEY")
+			}
+			if a.FK != "" {
+				b.WriteString(" -> " + a.FK)
+			}
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"distinct/internal/prop"
+	"distinct/internal/reldb"
+)
+
+// Prefetch computes and caches the neighborhoods of every given reference,
+// fanning the propagation work out over `workers` goroutines (0 means
+// GOMAXPROCS). Propagation per reference is independent and the database
+// is read-only, so the only synchronisation needed is the final cache
+// merge. After Prefetch returns, Neighborhoods/ResemVector/WalkVector hits
+// for those references are pure cache reads and safe to issue from
+// multiple goroutines concurrently.
+func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Deduplicate and drop already-cached references.
+	var todo []reldb.TupleID
+	seen := make(map[reldb.TupleID]bool, len(refs))
+	for _, r := range refs {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if _, ok := e.cache[r]; !ok {
+			todo = append(todo, r)
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers == 1 {
+		for _, r := range todo {
+			e.Neighborhoods(r)
+		}
+		return
+	}
+
+	results := make([][]prop.Neighborhood, len(todo))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = prop.PropagateMulti(e.db, todo[i], e.trie)
+			}
+		}()
+	}
+	for i := range todo {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, r := range todo {
+		e.cache[r] = results[i]
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"distinct/internal/reldb"
+)
+
+func TestPrefetchMatchesSequential(t *testing.T) {
+	seqExt, refs := extractorFixture(t)
+	parExt, _ := extractorFixture(t)
+
+	// Sequential baseline.
+	for _, r := range refs {
+		seqExt.Neighborhoods(r)
+	}
+	// Parallel prefetch with duplicates in the input.
+	parExt.Prefetch(append(append([]reldb.TupleID(nil), refs...), refs...), 4)
+	if parExt.CacheSize() != len(refs) {
+		t.Fatalf("cache size %d, want %d", parExt.CacheSize(), len(refs))
+	}
+	for _, r := range refs {
+		a, b := seqExt.Neighborhoods(r), parExt.Neighborhoods(r)
+		if len(a) != len(b) {
+			t.Fatalf("ref %d: %d vs %d paths", r, len(a), len(b))
+		}
+		for p := range a {
+			if len(a[p]) != len(b[p]) {
+				t.Fatalf("ref %d path %d: neighborhood sizes differ", r, p)
+			}
+			for id, fb := range a[p] {
+				if pb, ok := b[p][id]; !ok ||
+					math.Abs(pb.Fwd-fb.Fwd) > 1e-15 || math.Abs(pb.Bwd-fb.Bwd) > 1e-15 {
+					t.Fatalf("ref %d path %d tuple %d: %+v vs %+v", r, p, id, fb, b[p][id])
+				}
+			}
+		}
+	}
+}
+
+func TestPrefetchIdempotentAndEmpty(t *testing.T) {
+	ext, refs := extractorFixture(t)
+	ext.Prefetch(refs, 0) // 0 workers = GOMAXPROCS
+	size := ext.CacheSize()
+	ext.Prefetch(refs, 2) // everything cached: no-op
+	if ext.CacheSize() != size {
+		t.Error("second prefetch changed the cache")
+	}
+	ext.Prefetch(nil, 3) // empty input: no-op
+	if ext.CacheSize() != size {
+		t.Error("empty prefetch changed the cache")
+	}
+}
+
+func TestPrefetchSingleWorker(t *testing.T) {
+	ext, refs := extractorFixture(t)
+	ext.Prefetch(refs, 1)
+	if ext.CacheSize() != len(refs) {
+		t.Fatalf("cache size %d", ext.CacheSize())
+	}
+}

@@ -1,0 +1,143 @@
+// Package sim implements DISTINCT's two complementary similarity measures
+// between references (Sections 2.3 and 2.4 of the paper):
+//
+//   - set resemblance of neighbor tuples — a connection-strength-weighted
+//     Jaccard coefficient over the two references' neighborhoods along one
+//     join path (Definition 2), capturing context similarity; and
+//   - random walk probability — the probability of walking from one
+//     reference to the other along a join path and back along its reverse,
+//     capturing linkage strength.
+//
+// Both measures are computed per join path; the core package combines the
+// per-path values with learned (or uniform) weights.
+package sim
+
+import (
+	"math"
+
+	"distinct/internal/prop"
+	"distinct/internal/reldb"
+)
+
+// Resemblance returns the set resemblance between two references'
+// neighborhoods along one join path (Definition 2): the weighted Jaccard
+// coefficient Σ min(Fwd_a(t), Fwd_b(t)) / Σ max(Fwd_a(t), Fwd_b(t)), where
+// the sums range over the intersection and union of the neighborhoods.
+func Resemblance(a, b prop.Neighborhood) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	var sumA, sumB, interMin float64
+	for _, fb := range a {
+		sumA += fb.Fwd
+	}
+	for _, fb := range b {
+		sumB += fb.Fwd
+	}
+	for t, fs := range small {
+		if fl, ok := large[t]; ok {
+			interMin += math.Min(fs.Fwd, fl.Fwd)
+		}
+	}
+	// Σ max over the union = Σ_a + Σ_b − Σ min over the intersection.
+	denom := sumA + sumB - interMin
+	if denom <= 0 {
+		return 0
+	}
+	return interMin / denom
+}
+
+// WalkProb returns the directed random walk probability Walk_P(r1 → r2): the
+// probability of reaching r2 from r1 by walking the join path to a shared
+// neighbor tuple and the reversed path back, i.e. Σ_t Fwd_a(t)·Bwd_b(t).
+// Composing the two per-path probabilities avoids re-walking the
+// concatenated double-length path, as Section 2.4 of the paper notes.
+func WalkProb(a, b prop.Neighborhood) float64 {
+	small, large := a, b
+	swapped := false
+	if len(b) < len(a) {
+		small, large = b, a
+		swapped = true
+	}
+	var p float64
+	for t, fs := range small {
+		if fl, ok := large[t]; ok {
+			if swapped {
+				p += fl.Fwd * fs.Bwd
+			} else {
+				p += fs.Fwd * fl.Bwd
+			}
+		}
+	}
+	return p
+}
+
+// SymWalkProb returns the symmetrised walk probability, the mean of the two
+// directions.
+func SymWalkProb(a, b prop.Neighborhood) float64 {
+	return (WalkProb(a, b) + WalkProb(b, a)) / 2
+}
+
+// Extractor computes and caches per-reference neighborhoods along a fixed
+// set of join paths, and derives per-pair feature vectors from them. Each
+// reference's propagation runs once no matter how many pairs it appears in;
+// this is what makes all-pairs feature computation affordable (§4.2).
+type Extractor struct {
+	db    *reldb.Database
+	paths []reldb.JoinPath
+	trie  *prop.Trie // shared-prefix walk over all paths at once
+	cache map[reldb.TupleID][]prop.Neighborhood
+}
+
+// NewExtractor creates an extractor over the given database and join paths.
+func NewExtractor(db *reldb.Database, paths []reldb.JoinPath) *Extractor {
+	return &Extractor{
+		db:    db,
+		paths: paths,
+		trie:  prop.NewTrie(paths),
+		cache: make(map[reldb.TupleID][]prop.Neighborhood),
+	}
+}
+
+// Paths returns the join paths the extractor computes features for, in
+// feature-vector order.
+func (e *Extractor) Paths() []reldb.JoinPath { return e.paths }
+
+// Neighborhoods returns the reference's neighborhood along every path,
+// computing and caching them on first use. All paths are walked in one
+// prefix-trie traversal (see prop.PropagateMulti).
+func (e *Extractor) Neighborhoods(r reldb.TupleID) []prop.Neighborhood {
+	if nbs, ok := e.cache[r]; ok {
+		return nbs
+	}
+	nbs := prop.PropagateMulti(e.db, r, e.trie)
+	e.cache[r] = nbs
+	return nbs
+}
+
+// ResemVector returns the per-path set resemblance feature vector of a pair.
+func (e *Extractor) ResemVector(r1, r2 reldb.TupleID) []float64 {
+	n1, n2 := e.Neighborhoods(r1), e.Neighborhoods(r2)
+	v := make([]float64, len(e.paths))
+	for i := range e.paths {
+		v[i] = Resemblance(n1[i], n2[i])
+	}
+	return v
+}
+
+// WalkVector returns the per-path symmetrised random walk feature vector.
+func (e *Extractor) WalkVector(r1, r2 reldb.TupleID) []float64 {
+	n1, n2 := e.Neighborhoods(r1), e.Neighborhoods(r2)
+	v := make([]float64, len(e.paths))
+	for i := range e.paths {
+		v[i] = SymWalkProb(n1[i], n2[i])
+	}
+	return v
+}
+
+// CacheSize reports how many references have cached neighborhoods.
+func (e *Extractor) CacheSize() int { return len(e.cache) }

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distinct/internal/prop"
+	"distinct/internal/reldb"
+)
+
+// nb builds a neighborhood from (id, fwd, bwd) triples.
+func nb(triples ...float64) prop.Neighborhood {
+	n := make(prop.Neighborhood)
+	for i := 0; i+2 < len(triples); i += 3 {
+		n[reldb.TupleID(triples[i])] = prop.FB{Fwd: triples[i+1], Bwd: triples[i+2]}
+	}
+	return n
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestResemblanceHandComputed(t *testing.T) {
+	a := nb(1, 0.5, 0.3, 2, 0.5, 0.2)
+	b := nb(2, 0.25, 0.1, 3, 0.75, 0.9)
+	// Intersection {2}: min = 0.25. Union max: max(t1)=0.5, max(t2)=0.5, max(t3)=0.75.
+	want := 0.25 / (0.5 + 0.5 + 0.75)
+	if got := Resemblance(a, b); !approx(got, want) {
+		t.Errorf("Resemblance = %v, want %v", got, want)
+	}
+	// Symmetry.
+	if got := Resemblance(b, a); !approx(got, want) {
+		t.Errorf("Resemblance reversed = %v, want %v", got, want)
+	}
+}
+
+func TestResemblanceIdentityAndDisjoint(t *testing.T) {
+	a := nb(1, 0.4, 0.1, 2, 0.6, 0.2)
+	if got := Resemblance(a, a); !approx(got, 1.0) {
+		t.Errorf("self resemblance = %v, want 1", got)
+	}
+	b := nb(3, 1.0, 1.0)
+	if got := Resemblance(a, b); got != 0 {
+		t.Errorf("disjoint resemblance = %v, want 0", got)
+	}
+	if got := Resemblance(nil, a); got != 0 {
+		t.Errorf("empty resemblance = %v, want 0", got)
+	}
+	if got := Resemblance(a, prop.Neighborhood{}); got != 0 {
+		t.Errorf("empty resemblance = %v, want 0", got)
+	}
+}
+
+func TestWalkProbHandComputed(t *testing.T) {
+	a := nb(1, 0.5, 0.4, 2, 0.5, 0.6)
+	b := nb(1, 0.2, 0.3, 3, 0.8, 0.9)
+	// Directed a->b: shared {1}: Fwd_a(1)*Bwd_b(1) = 0.5*0.3.
+	if got := WalkProb(a, b); !approx(got, 0.15) {
+		t.Errorf("WalkProb(a,b) = %v, want 0.15", got)
+	}
+	// Directed b->a: Fwd_b(1)*Bwd_a(1) = 0.2*0.4.
+	if got := WalkProb(b, a); !approx(got, 0.08) {
+		t.Errorf("WalkProb(b,a) = %v, want 0.08", got)
+	}
+	if got := SymWalkProb(a, b); !approx(got, (0.15+0.08)/2) {
+		t.Errorf("SymWalkProb = %v", got)
+	}
+	if got := SymWalkProb(b, a); !approx(got, (0.15+0.08)/2) {
+		t.Errorf("SymWalkProb not symmetric: %v", got)
+	}
+}
+
+func TestWalkProbSwappedBranch(t *testing.T) {
+	// Make len(a) > len(b) to exercise the swapped iteration branch.
+	a := nb(1, 0.25, 0.5, 2, 0.25, 0.5, 3, 0.5, 0.5)
+	b := nb(1, 1.0, 0.75)
+	if got := WalkProb(a, b); !approx(got, 0.25*0.75) {
+		t.Errorf("WalkProb = %v, want %v", got, 0.25*0.75)
+	}
+	if got := WalkProb(b, a); !approx(got, 1.0*0.5) {
+		t.Errorf("WalkProb = %v, want 0.5", got)
+	}
+}
+
+func randomNeighborhood(rng *rand.Rand) prop.Neighborhood {
+	n := make(prop.Neighborhood)
+	for i := 0; i < 1+rng.Intn(12); i++ {
+		n[reldb.TupleID(rng.Intn(16))] = prop.FB{Fwd: rng.Float64(), Bwd: rng.Float64()}
+	}
+	return n
+}
+
+// Property: resemblance is symmetric, bounded to [0,1], 1 on identical
+// neighborhoods, and 0 on disjoint ones.
+func TestResemblanceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomNeighborhood(rng), randomNeighborhood(rng)
+		r1, r2 := Resemblance(a, b), Resemblance(b, a)
+		if !approx(r1, r2) {
+			t.Logf("asymmetric: %v vs %v", r1, r2)
+			return false
+		}
+		if r1 < 0 || r1 > 1+1e-12 {
+			t.Logf("out of range: %v", r1)
+			return false
+		}
+		if !approx(Resemblance(a, a), 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: symmetric walk probability is symmetric and non-negative, and
+// monotone under shrinking a neighborhood (removing shared tuples can only
+// decrease it).
+func TestWalkProbProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomNeighborhood(rng), randomNeighborhood(rng)
+		s := SymWalkProb(a, b)
+		if s < 0 {
+			return false
+		}
+		if !approx(s, SymWalkProb(b, a)) {
+			return false
+		}
+		// Remove one shared tuple, if any: probability must not increase.
+		for id := range a {
+			if _, ok := b[id]; ok {
+				a2 := make(prop.Neighborhood, len(a))
+				for k, v := range a {
+					a2[k] = v
+				}
+				delete(a2, id)
+				if SymWalkProb(a2, b) > s+1e-12 {
+					return false
+				}
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func extractorFixture(t *testing.T) (*Extractor, []reldb.TupleID) {
+	t.Helper()
+	schema := reldb.MustSchema(
+		reldb.MustRelationSchema("Authors", reldb.Attribute{Name: "author", Key: true}),
+		reldb.MustRelationSchema("Publish",
+			reldb.Attribute{Name: "author", FK: "Authors"},
+			reldb.Attribute{Name: "paper-key", FK: "Publications"},
+		),
+		reldb.MustRelationSchema("Publications",
+			reldb.Attribute{Name: "paper-key", Key: true}),
+	)
+	db := reldb.NewDatabase(schema)
+	for _, a := range []string{"x", "y", "z"} {
+		db.MustInsert("Authors", a)
+	}
+	db.MustInsert("Publications", "p1")
+	db.MustInsert("Publications", "p2")
+	r1 := db.MustInsert("Publish", "x", "p1")
+	db.MustInsert("Publish", "y", "p1")
+	r2 := db.MustInsert("Publish", "x", "p2")
+	db.MustInsert("Publish", "y", "p2")
+	db.MustInsert("Publish", "z", "p2")
+	paths := []reldb.JoinPath{{Start: "Publish", Steps: []reldb.Step{
+		{Rel: "Publish", Attr: "paper-key", Forward: true},
+		{Rel: "Publish", Attr: "paper-key", Forward: false},
+		{Rel: "Publish", Attr: "author", Forward: true},
+	}}}
+	return NewExtractor(db, paths), []reldb.TupleID{r1, r2}
+}
+
+func TestExtractorVectorsAndCache(t *testing.T) {
+	e, refs := extractorFixture(t)
+	if len(e.Paths()) != 1 {
+		t.Fatalf("Paths = %d", len(e.Paths()))
+	}
+	v := e.ResemVector(refs[0], refs[1])
+	if len(v) != 1 {
+		t.Fatalf("vector length %d", len(v))
+	}
+	// r1's coauthors: {y:1}. r2's: {y:1/2, z:1/2}. Resem = min(1,.5)/(max(1,.5)+.5) = .5/1.5.
+	if !approx(v[0], 0.5/1.5) {
+		t.Errorf("resem feature = %v, want %v", v[0], 0.5/1.5)
+	}
+	w := e.WalkVector(refs[0], refs[1])
+	if w[0] <= 0 {
+		t.Errorf("walk feature = %v, want > 0", w[0])
+	}
+	if e.CacheSize() != 2 {
+		t.Errorf("cache size = %d, want 2", e.CacheSize())
+	}
+	// Repeated extraction hits the cache and stays deterministic.
+	v2 := e.ResemVector(refs[0], refs[1])
+	if !approx(v[0], v2[0]) || e.CacheSize() != 2 {
+		t.Error("cache changed results")
+	}
+}

@@ -1,0 +1,120 @@
+package strsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQGrams(t *testing.T) {
+	g := QGrams("ab", 2)
+	// Padded "#ab#": grams #a, ab, b#.
+	if len(g) != 3 || g["#a"] != 1 || g["ab"] != 1 || g["b#"] != 1 {
+		t.Errorf("QGrams = %v", g)
+	}
+	// Case folding.
+	if QGramJaccard("WANG", "wang", 3) != 1 {
+		t.Error("case not folded")
+	}
+	// q clamped.
+	if len(QGrams("abc", 0)) != 3 {
+		t.Error("q clamp failed")
+	}
+	// Repeated grams counted as a multiset.
+	g = QGrams("aaa", 1)
+	if g["a"] != 3 {
+		t.Errorf("multiset count = %d", g["a"])
+	}
+}
+
+func TestQGramJaccardBasics(t *testing.T) {
+	if QGramJaccard("wei wang", "wei wang", 3) != 1 {
+		t.Error("identical strings not 1")
+	}
+	if QGramJaccard("abc", "xyz", 3) != 0 {
+		t.Error("disjoint strings not 0")
+	}
+	if QGramJaccard("", "", 3) != 1 {
+		t.Error("two empty strings")
+	}
+	close := QGramJaccard("wei wang", "wei k. wang", 3)
+	far := QGramJaccard("wei wang", "joseph hellerstein", 3)
+	if close <= far || close < 0.4 {
+		t.Errorf("close %v, far %v", close, far)
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	// Classic textbook pairs.
+	if got := Jaro("martha", "marhta"); !approx(got, 0.9444444444444445) {
+		t.Errorf("Jaro(martha, marhta) = %v", got)
+	}
+	if got := Jaro("dixon", "dicksonx"); !approx(got, 0.7666666666666666) {
+		t.Errorf("Jaro(dixon, dicksonx) = %v", got)
+	}
+	if Jaro("", "") != 1 || Jaro("a", "") != 0 {
+		t.Error("empty-string edge cases")
+	}
+	if Jaro("abc", "abc") != 1 {
+		t.Error("identical strings")
+	}
+	if Jaro("ab", "cd") != 0 {
+		t.Error("no matches should be 0")
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); !approx(got, 0.9611111111111111) {
+		t.Errorf("JW(martha, marhta) = %v", got)
+	}
+	// The boost never lowers the score and identical strings stay at 1.
+	if JaroWinkler("wei wang", "wei wang") != 1 {
+		t.Error("identical strings")
+	}
+	if JaroWinkler("abcd", "abce") < Jaro("abcd", "abce") {
+		t.Error("prefix boost lowered the score")
+	}
+}
+
+// Properties: all measures are symmetric and within [0,1].
+func TestSimilarityProperties(t *testing.T) {
+	letters := []rune("abcdefg .")
+	randStr := func(rng *rand.Rand) string {
+		n := rng.Intn(12)
+		out := make([]rune, n)
+		for i := range out {
+			out[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(out)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randStr(rng), randStr(rng)
+		for _, fn := range []func(string, string) float64{
+			func(x, y string) float64 { return QGramJaccard(x, y, 3) },
+			Jaro,
+			JaroWinkler,
+		} {
+			s1, s2 := fn(a, b), fn(b, a)
+			if !approx(s1, s2) {
+				t.Logf("asymmetric on %q %q: %v vs %v", a, b, s1, s2)
+				return false
+			}
+			if s1 < 0 || s1 > 1+1e-9 {
+				t.Logf("out of range on %q %q: %v", a, b, s1)
+				return false
+			}
+			if !approx(fn(a, a), 1) {
+				t.Logf("self-similarity != 1 for %q", a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

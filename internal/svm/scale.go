@@ -1,0 +1,74 @@
+package svm
+
+// Scaler rescales features by their per-dimension training maxima, mapping
+// non-negative feature values into [0, 1]. DISTINCT's per-join-path
+// similarities span two orders of magnitude (set resemblance through a
+// shared publisher can reach 0.5 while a random walk probability rarely
+// exceeds 0.005); without scaling a box-constrained SVM cannot grow weights
+// large enough to separate the classes, and underfits badly.
+//
+// Dead features (training maximum 0) keep scale 0 and contribute nothing.
+type Scaler struct {
+	// Scale holds the per-dimension multipliers (1/max, or 0 for dead
+	// dimensions).
+	Scale []float64
+}
+
+// FitScaler computes a scaler from the training examples' feature maxima.
+// It returns nil for an empty training set.
+func FitScaler(examples []Example) *Scaler {
+	if len(examples) == 0 {
+		return nil
+	}
+	dim := len(examples[0].X)
+	max := make([]float64, dim)
+	for _, e := range examples {
+		for i, v := range e.X {
+			if i < dim && v > max[i] {
+				max[i] = v
+			}
+		}
+	}
+	s := &Scaler{Scale: make([]float64, dim)}
+	for i, m := range max {
+		if m > 0 {
+			s.Scale[i] = 1 / m
+		}
+	}
+	return s
+}
+
+// Apply returns a scaled copy of x.
+func (s *Scaler) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if i < len(s.Scale) {
+			out[i] = v * s.Scale[i]
+		}
+	}
+	return out
+}
+
+// Transform returns a new example slice with scaled features; labels are
+// shared, feature slices are copies.
+func (s *Scaler) Transform(examples []Example) []Example {
+	out := make([]Example, len(examples))
+	for i, e := range examples {
+		out[i] = Example{X: s.Apply(e.X), Y: e.Y}
+	}
+	return out
+}
+
+// FoldWeights converts weights learned on scaled features back to weights
+// applicable to raw features: since scaled_x[i] = x[i]·Scale[i], a model
+// w·scaled_x equals (w∘Scale)·x. DISTINCT applies the folded weights
+// directly to raw per-path similarities at clustering time.
+func (s *Scaler) FoldWeights(w []float64) []float64 {
+	out := make([]float64, len(w))
+	for i, v := range w {
+		if i < len(s.Scale) {
+			out[i] = v * s.Scale[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitScalerBasics(t *testing.T) {
+	ex := []Example{
+		{X: []float64{2, 0.5, 0}, Y: 1},
+		{X: []float64{4, 0.25, 0}, Y: -1},
+	}
+	s := FitScaler(ex)
+	want := []float64{0.25, 2, 0} // 1/max per dim; dead dim stays 0
+	for i, v := range want {
+		if math.Abs(s.Scale[i]-v) > 1e-15 {
+			t.Fatalf("Scale = %v, want %v", s.Scale, want)
+		}
+	}
+	scaled := s.Apply([]float64{4, 0.5, 7})
+	if scaled[0] != 1 || scaled[1] != 1 || scaled[2] != 0 {
+		t.Errorf("Apply = %v", scaled)
+	}
+	if FitScaler(nil) != nil {
+		t.Error("FitScaler(nil) should be nil")
+	}
+}
+
+func TestScalerTransformPreservesLabels(t *testing.T) {
+	ex := []Example{{X: []float64{2}, Y: 1}, {X: []float64{1}, Y: -1}}
+	s := FitScaler(ex)
+	out := s.Transform(ex)
+	if out[0].Y != 1 || out[1].Y != -1 {
+		t.Error("labels changed")
+	}
+	if out[0].X[0] != 1 || out[1].X[0] != 0.5 {
+		t.Errorf("features %v %v", out[0].X, out[1].X)
+	}
+	// Originals untouched.
+	if ex[0].X[0] != 2 {
+		t.Error("Transform mutated its input")
+	}
+}
+
+// FoldWeights must make model-on-scaled equal folded-weights-on-raw.
+func TestFoldWeightsEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(6)
+		ex := make([]Example, 10)
+		for i := range ex {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = rng.Float64() * math.Pow(10, float64(rng.Intn(5)-2))
+			}
+			y := 1.0
+			if i%2 == 0 {
+				y = -1
+			}
+			ex[i] = Example{X: x, Y: y}
+		}
+		s := FitScaler(ex)
+		w := make([]float64, dim)
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		folded := s.FoldWeights(w)
+		for _, e := range ex {
+			var onScaled, onRaw float64
+			scaled := s.Apply(e.X)
+			for j := 0; j < dim; j++ {
+				onScaled += w[j] * scaled[j]
+				onRaw += folded[j] * e.X[j]
+			}
+			if math.Abs(onScaled-onRaw) > 1e-9*(1+math.Abs(onScaled)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Training on scaled features must succeed where raw tiny features underfit.
+func TestScalingFixesUnderfitting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ex []Example
+	for i := 0; i < 60; i++ {
+		// Tiny-magnitude feature that perfectly separates the classes.
+		v := 0.001 + rng.Float64()*0.001
+		ex = append(ex,
+			Example{X: []float64{v + 0.001}, Y: 1},
+			Example{X: []float64{v - 0.001}, Y: -1},
+		)
+	}
+	raw, err := TrainDCD(ex, Options{C: 1, MaxIter: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FitScaler(ex)
+	scaledModel, err := TrainDCD(s.Transform(ex), Options{C: 1, MaxIter: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawAcc := Accuracy(raw, ex)
+	scaledAcc := Accuracy(scaledModel, s.Transform(ex))
+	t.Logf("raw accuracy %.3f, scaled accuracy %.3f", rawAcc, scaledAcc)
+	if scaledAcc < 0.95 {
+		t.Errorf("scaled training accuracy %v", scaledAcc)
+	}
+	if scaledAcc < rawAcc {
+		t.Errorf("scaling hurt: %v < %v", scaledAcc, rawAcc)
+	}
+}

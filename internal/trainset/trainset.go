@@ -1,0 +1,192 @@
+// Package trainset constructs SVM training sets automatically, with no
+// manual labeling, following Section 3 of the DISTINCT paper: in most
+// applications the majority of names are unique, and a name combining a rare
+// first name with a rare last name is very likely to denote a single real
+// person. Two references to such a name form a positive (equivalent) pair;
+// references to two different rare names form a negative (distinct) pair.
+package trainset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"distinct/internal/reldb"
+)
+
+// Options configures training-set construction.
+type Options struct {
+	// MaxFirstFreq and MaxLastFreq are the rarity thresholds: a name is
+	// considered rare (and hence likely unique) if its first name occurs in
+	// at most MaxFirstFreq distinct author names and its last name in at
+	// most MaxLastFreq. Both default to 3.
+	MaxFirstFreq, MaxLastFreq int
+	// NumPositive and NumNegative are the numbers of pairs to sample; the
+	// paper uses 1000 + 1000. Both default to 1000.
+	NumPositive, NumNegative int
+	// MinRefs is the minimum number of references a rare name needs to
+	// yield positive pairs. Defaults to 2.
+	MinRefs int
+	// Exclude lists names that must not contribute examples — the ambiguous
+	// names under evaluation, so training never sees test data.
+	Exclude []string
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFirstFreq <= 0 {
+		o.MaxFirstFreq = 3
+	}
+	if o.MaxLastFreq <= 0 {
+		o.MaxLastFreq = 3
+	}
+	if o.NumPositive <= 0 {
+		o.NumPositive = 1000
+	}
+	if o.NumNegative <= 0 {
+		o.NumNegative = 1000
+	}
+	if o.MinRefs < 2 {
+		o.MinRefs = 2
+	}
+	return o
+}
+
+// Pair is one training example: two references and a label (+1 equivalent,
+// -1 distinct).
+type Pair struct {
+	R1, R2 reldb.TupleID
+	Label  float64
+}
+
+// Result is a constructed training set.
+type Result struct {
+	Pairs []Pair
+	// RareNames lists the names presumed unique, sorted lexicographically.
+	RareNames []string
+	// NumPositive and NumNegative count the labels in Pairs.
+	NumPositive, NumNegative int
+}
+
+// SplitName separates a full name into first and last parts: the first
+// space-separated token is the first name, the remainder the last name.
+// A single-token name has an empty first name.
+func SplitName(name string) (first, last string) {
+	i := strings.IndexByte(name, ' ')
+	if i < 0 {
+		return "", name
+	}
+	return name[:i], name[i+1:]
+}
+
+// RareNames returns the names presumed unique under the options' rarity
+// thresholds: the first name part occurs in at most MaxFirstFreq distinct
+// names and the last part in at most MaxLastFreq, the name is not excluded,
+// and it is not a single token. Names follow the name relation's insertion
+// order.
+func RareNames(db *reldb.Database, refRel, refAttr string, opts Options) ([]string, error) {
+	opts = opts.withDefaults()
+	rs := db.Schema.Relation(refRel)
+	if rs == nil {
+		return nil, fmt.Errorf("trainset: unknown relation %q", refRel)
+	}
+	ai := rs.AttrIndex(refAttr)
+	if ai < 0 {
+		return nil, fmt.Errorf("trainset: relation %q has no attribute %q", refRel, refAttr)
+	}
+	target := rs.Attrs[ai].FK
+	if target == "" {
+		return nil, fmt.Errorf("trainset: %s.%s is not a foreign key", refRel, refAttr)
+	}
+	authors := db.Relation(target)
+	tks := authors.Schema.KeyIndex()
+
+	// Part frequencies over distinct author names.
+	firstFreq := make(map[string]int)
+	lastFreq := make(map[string]int)
+	names := make([]string, 0, authors.Size())
+	for _, id := range authors.TupleIDs() {
+		name := db.Tuple(id).Vals[tks]
+		names = append(names, name)
+		f, l := SplitName(name)
+		firstFreq[f]++
+		lastFreq[l]++
+	}
+
+	excluded := make(map[string]bool, len(opts.Exclude))
+	for _, n := range opts.Exclude {
+		excluded[n] = true
+	}
+	var rare []string
+	for _, name := range names {
+		f, l := SplitName(name)
+		if f == "" || excluded[name] {
+			continue
+		}
+		if firstFreq[f] > opts.MaxFirstFreq || lastFreq[l] > opts.MaxLastFreq {
+			continue
+		}
+		rare = append(rare, name)
+	}
+	return rare, nil
+}
+
+// Build constructs a training set from the database. refRel/refAttr locate
+// the references (e.g. Publish.author); the author names are the keys of the
+// relation refAttr references.
+func Build(db *reldb.Database, refRel, refAttr string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	rare, err := RareNames(db, refRel, refAttr, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{RareNames: rare}
+	var withRefs []string // rare names having >= MinRefs references
+	var anyRefs []string  // rare names having >= 1 reference
+	for _, name := range rare {
+		n := len(db.Referencing(refRel, refAttr, name))
+		if n >= opts.MinRefs {
+			withRefs = append(withRefs, name)
+		}
+		if n >= 1 {
+			anyRefs = append(anyRefs, name)
+		}
+	}
+	if len(withRefs) == 0 {
+		return nil, fmt.Errorf("trainset: no rare name has %d+ references; relax the rarity thresholds", opts.MinRefs)
+	}
+	if len(anyRefs) < 2 {
+		return nil, fmt.Errorf("trainset: fewer than two rare names with references")
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < opts.NumPositive; i++ {
+		name := withRefs[rng.Intn(len(withRefs))]
+		refs := db.Referencing(refRel, refAttr, name)
+		a := rng.Intn(len(refs))
+		b := rng.Intn(len(refs) - 1)
+		if b >= a {
+			b++
+		}
+		res.Pairs = append(res.Pairs, Pair{R1: refs[a], R2: refs[b], Label: 1})
+		res.NumPositive++
+	}
+	for i := 0; i < opts.NumNegative; i++ {
+		a := rng.Intn(len(anyRefs))
+		b := rng.Intn(len(anyRefs) - 1)
+		if b >= a {
+			b++
+		}
+		ra := db.Referencing(refRel, refAttr, anyRefs[a])
+		rb := db.Referencing(refRel, refAttr, anyRefs[b])
+		res.Pairs = append(res.Pairs, Pair{
+			R1:    ra[rng.Intn(len(ra))],
+			R2:    rb[rng.Intn(len(rb))],
+			Label: -1,
+		})
+		res.NumNegative++
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package trainset
+
+import (
+	"sort"
+	"testing"
+
+	"distinct/internal/dblp"
+	"distinct/internal/reldb"
+)
+
+func testWorld(t *testing.T) *dblp.World {
+	t.Helper()
+	cfg := dblp.DefaultConfig()
+	cfg.Communities = 4
+	cfg.AuthorsPerCommunity = 40
+	cfg.PapersPerAuthor = 3
+	cfg.Ambiguous = []dblp.AmbiguousName{{Name: "Wei Wang", RefsPerAuthor: []int{8, 6}}}
+	w, err := dblp.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSplitName(t *testing.T) {
+	cases := []struct{ in, first, last string }{
+		{"Wei Wang", "Wei", "Wang"},
+		{"Joseph M. Hellerstein", "Joseph", "M. Hellerstein"},
+		{"Plato", "", "Plato"},
+		{"", "", ""},
+	}
+	for _, c := range cases {
+		f, l := SplitName(c.in)
+		if f != c.first || l != c.last {
+			t.Errorf("SplitName(%q) = %q/%q, want %q/%q", c.in, f, l, c.first, c.last)
+		}
+	}
+}
+
+func TestBuildLabelsAndCounts(t *testing.T) {
+	w := testWorld(t)
+	res, err := Build(w.DB, dblp.ReferenceRelation, dblp.ReferenceAttr, Options{
+		NumPositive: 200, NumNegative: 300, Seed: 7,
+		Exclude: w.AmbiguousNames(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPositive != 200 || res.NumNegative != 300 {
+		t.Fatalf("counts %d/%d", res.NumPositive, res.NumNegative)
+	}
+	if len(res.Pairs) != 500 {
+		t.Fatalf("pairs = %d", len(res.Pairs))
+	}
+	for _, p := range res.Pairs {
+		n1 := w.DB.Tuple(p.R1).Val("author")
+		n2 := w.DB.Tuple(p.R2).Val("author")
+		switch p.Label {
+		case 1:
+			if n1 != n2 {
+				t.Fatalf("positive pair across names %q %q", n1, n2)
+			}
+			if p.R1 == p.R2 {
+				t.Fatal("positive pair of identical references")
+			}
+			// The generator guarantees rare names have one identity, so a
+			// same-name pair really is equivalent.
+			if w.RefAuthor[p.R1] != w.RefAuthor[p.R2] {
+				t.Logf("warning: positive pair %q is actually two identities (training noise)", n1)
+			}
+		case -1:
+			if n1 == n2 {
+				t.Fatalf("negative pair within one name %q", n1)
+			}
+		default:
+			t.Fatalf("label %v", p.Label)
+		}
+	}
+}
+
+func TestBuildRareNamesAreRareAndExcluded(t *testing.T) {
+	w := testWorld(t)
+	res, err := Build(w.DB, dblp.ReferenceRelation, dblp.ReferenceAttr, Options{
+		MaxFirstFreq: 2, MaxLastFreq: 2, NumPositive: 10, NumNegative: 10,
+		Exclude: []string{"Wei Wang"}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute part frequencies and verify every rare name qualifies.
+	firstFreq := map[string]int{}
+	lastFreq := map[string]int{}
+	authors := w.DB.Relation("Authors")
+	for _, id := range authors.TupleIDs() {
+		f, l := SplitName(w.DB.Tuple(id).Val("author"))
+		firstFreq[f]++
+		lastFreq[l]++
+	}
+	for _, n := range res.RareNames {
+		if n == "Wei Wang" {
+			t.Fatal("excluded name in rare set")
+		}
+		f, l := SplitName(n)
+		if firstFreq[f] > 2 || lastFreq[l] > 2 {
+			t.Errorf("name %q is not rare (first %d, last %d)", n, firstFreq[f], lastFreq[l])
+		}
+	}
+	if !sort.StringsAreSorted(res.RareNames) {
+		// RareNames follow Authors insertion order; sortedness is not
+		// promised, so just assert non-emptiness here.
+		t.Log("rare names unsorted (insertion order)")
+	}
+	if len(res.RareNames) == 0 {
+		t.Error("no rare names found")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	w := testWorld(t)
+	opts := Options{NumPositive: 50, NumNegative: 50, Seed: 3}
+	a, err := Build(w.DB, dblp.ReferenceRelation, dblp.ReferenceAttr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(w.DB, dblp.ReferenceRelation, dblp.ReferenceAttr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	w := testWorld(t)
+	if _, err := Build(w.DB, "Nope", "author", Options{}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := Build(w.DB, dblp.ReferenceRelation, "nope", Options{}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := Build(w.DB, "Publications", "title", Options{}); err == nil {
+		t.Error("non-FK attribute accepted")
+	}
+	// Impossible rarity: every part occurs at least once, so thresholds of
+	// 1..1 with a huge MinRefs must fail.
+	if _, err := Build(w.DB, dblp.ReferenceRelation, dblp.ReferenceAttr, Options{
+		MaxFirstFreq: 1, MaxLastFreq: 1, MinRefs: 100000,
+	}); err == nil {
+		t.Error("unsatisfiable options accepted")
+	}
+}
+
+func TestBuildWorksOnExpandedDatabase(t *testing.T) {
+	w := testWorld(t)
+	ex, _, err := reldb.ExpandAttributes(w.DB, dblp.TitleAttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(ex, dblp.ReferenceRelation, dblp.ReferenceAttr, Options{
+		NumPositive: 20, NumNegative: 20, Seed: 5, Exclude: w.AmbiguousNames(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Pairs {
+		if ex.Tuple(p.R1).Rel.Name != dblp.ReferenceRelation {
+			t.Fatal("pair references wrong relation")
+		}
+	}
+}

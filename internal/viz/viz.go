@@ -1,0 +1,81 @@
+// Package viz renders reference groupings for human inspection, as text and
+// as Graphviz DOT — the form of the paper's Figure 5, where each real
+// author is a box with an affiliation and a reference count, and arrows
+// mark the mistakes DISTINCT made.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Box is one rendered group (a predicted cluster).
+type Box struct {
+	// Title heads the box, e.g. "cluster 1 (57 refs)".
+	Title string
+	// Lines list the box contents, e.g. one identity+count per line.
+	Lines []string
+	// Warn marks boxes containing mistakes; DOT colors them.
+	Warn bool
+}
+
+// Edge links two boxes by index, e.g. a split identity spanning clusters.
+type Edge struct {
+	From, To int
+	Label    string
+}
+
+// Text renders boxes and edges as indented plain text.
+func Text(title string, boxes []Box, edges []Edge) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for i, box := range boxes {
+		marker := " "
+		if box.Warn {
+			marker = "!"
+		}
+		fmt.Fprintf(&b, "%s [%d] %s\n", marker, i+1, box.Title)
+		for _, l := range box.Lines {
+			fmt.Fprintf(&b, "      %s\n", l)
+		}
+	}
+	if len(edges) > 0 {
+		b.WriteString("links:\n")
+		for _, e := range edges {
+			fmt.Fprintf(&b, "  [%d] -- [%d]: %s\n", e.From+1, e.To+1, e.Label)
+		}
+	}
+	return b.String()
+}
+
+// DOT renders boxes and edges as a Graphviz digraph. Pipe the output
+// through `dot -Tsvg` to obtain a figure shaped like the paper's Figure 5.
+func DOT(title string, boxes []Box, edges []Edge) string {
+	var b strings.Builder
+	b.WriteString("digraph distinct {\n")
+	fmt.Fprintf(&b, "  label=%s;\n", quote(title))
+	b.WriteString("  node [shape=box, style=filled, fillcolor=lightgray, fontname=\"Helvetica\"];\n")
+	for i, box := range boxes {
+		fill := "lightgray"
+		if box.Warn {
+			fill = "mistyrose"
+		}
+		label := box.Title
+		for _, l := range box.Lines {
+			label += "\\n" + l
+		}
+		fmt.Fprintf(&b, "  n%d [label=%s, fillcolor=%s];\n", i, quote(label), fill)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%s, style=dashed, dir=none];\n", e.From, e.To, quote(e.Label))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// quote escapes a string as a DOT double-quoted literal. Embedded "\\n"
+// sequences (DOT line breaks) are preserved.
+func quote(s string) string {
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return `"` + s + `"`
+}

@@ -1,0 +1,64 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func fixture() ([]Box, []Edge) {
+	boxes := []Box{
+		{Title: "cluster 1 (3 refs)", Lines: []string{"author#1 UIUC (3)"}},
+		{Title: "cluster 2 (2 refs)", Lines: []string{"author#2 MIT (1)", `author#1 "UIUC" (1)  <- misplaced`}, Warn: true},
+	}
+	edges := []Edge{{From: 0, To: 1, Label: "author#1 split"}}
+	return boxes, edges
+}
+
+func TestTextRendering(t *testing.T) {
+	boxes, edges := fixture()
+	out := Text("Groups of Wei Wang", boxes, edges)
+	for _, want := range []string{
+		"Groups of Wei Wang",
+		"[1] cluster 1",
+		"! [2] cluster 2", // warn marker
+		"author#2 MIT (1)",
+		"links:",
+		"[1] -- [2]: author#1 split",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text output missing %q:\n%s", want, out)
+		}
+	}
+	// No links section when there are no edges.
+	out = Text("T", boxes, nil)
+	if strings.Contains(out, "links:") {
+		t.Error("empty edges rendered a links section")
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	boxes, edges := fixture()
+	out := DOT("Groups of Wei Wang", boxes, edges)
+	for _, want := range []string{
+		"digraph distinct {",
+		`label="Groups of Wei Wang";`,
+		`n0 [label="cluster 1 (3 refs)\nauthor#1 UIUC (3)", fillcolor=lightgray];`,
+		"fillcolor=mistyrose", // warn box
+		`n0 -> n1 [label="author#1 split", style=dashed, dir=none];`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Quotes inside labels are escaped.
+	if !strings.Contains(out, `\"UIUC\"`) {
+		t.Errorf("quote escaping failed:\n%s", out)
+	}
+}
+
+func TestQuote(t *testing.T) {
+	if got := quote(`a"b`); got != `"a\"b"` {
+		t.Errorf("quote = %s", got)
+	}
+}
