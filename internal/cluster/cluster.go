@@ -285,9 +285,15 @@ func similarity(st pairStats, sizeA, sizeB int, m Measure) float64 {
 }
 
 // Matrix is a dense PairSim backed by precomputed similarity matrices.
+// NewMatrix backs both matrices with one flat row-major allocation (RFlat
+// and WFlat; cell (i,j) at i·n + j); R and W are row views into it, so
+// writes through either form are visible in both.
 type Matrix struct {
 	// R holds symmetric resemblance values; W holds directed walk values.
 	R, W [][]float64
+	// RFlat and WFlat are the flat backings when built by NewMatrix; nil
+	// for matrices assembled from bare row slices.
+	RFlat, WFlat []float64
 }
 
 // Resem implements PairSim.
@@ -296,13 +302,16 @@ func (m Matrix) Resem(i, j int) float64 { return m.R[i][j] }
 // Walk implements PairSim.
 func (m Matrix) Walk(i, j int) float64 { return m.W[i][j] }
 
-// NewMatrix allocates an n×n zero matrix pair.
+// NewMatrix allocates an n×n zero matrix pair over one flat backing array.
 func NewMatrix(n int) Matrix {
-	r := make([][]float64, n)
-	w := make([][]float64, n)
-	for i := range r {
-		r[i] = make([]float64, n)
-		w[i] = make([]float64, n)
+	backing := make([]float64, 2*n*n)
+	rf := backing[:n*n:n*n]
+	wf := backing[n*n:]
+	rows := make([][]float64, 2*n)
+	r, w := rows[:n:n], rows[n:]
+	for i := 0; i < n; i++ {
+		r[i] = rf[i*n : (i+1)*n : (i+1)*n]
+		w[i] = wf[i*n : (i+1)*n : (i+1)*n]
 	}
-	return Matrix{R: r, W: w}
+	return Matrix{R: r, W: w, RFlat: rf, WFlat: wf}
 }

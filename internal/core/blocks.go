@@ -63,7 +63,7 @@ func (e *Engine) blocks(refs []reldb.TupleID) [][]int {
 			if e.resemW[p] == 0 && e.walkW[p] == 0 {
 				continue
 			}
-			for t := range nbs[p] {
+			for _, t := range nbs[p].Keys {
 				k := key{path: p, t: t}
 				if j, ok := first[k]; ok {
 					uf.union(i, j)

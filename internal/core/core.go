@@ -332,8 +332,36 @@ func (e *Engine) RefsForName(name string) []reldb.TupleID {
 // They are the expensive part of disambiguation; computing them once lets
 // callers re-combine them under many weightings (the Figure 4 variants and
 // the min-sim sweeps) without re-propagating.
+//
+// Each matrix set is backed by one flat path-major row-major []float64
+// (RFlat, WFlat; cell (p,i,j) lives at p·n² + i·n + j). R and W are row
+// views sliced into the backing arrays, kept so indexing code and tests
+// read naturally; writes through either form are visible in both.
 type PathMatrices struct {
-	R, W [][][]float64
+	R, W         [][][]float64
+	RFlat, WFlat []float64
+}
+
+// NewPathMatrices allocates zeroed per-path n×n matrix pairs with flat
+// backing arrays.
+func NewPathMatrices(numPaths, n int) *PathMatrices {
+	pm := &PathMatrices{
+		R:     make([][][]float64, numPaths),
+		W:     make([][][]float64, numPaths),
+		RFlat: make([]float64, numPaths*n*n),
+		WFlat: make([]float64, numPaths*n*n),
+	}
+	rows := make([][]float64, 2*numPaths*n) // all row headers in one block
+	for p := 0; p < numPaths; p++ {
+		pm.R[p], rows = rows[:n:n], rows[n:]
+		pm.W[p], rows = rows[:n:n], rows[n:]
+		for i := 0; i < n; i++ {
+			off := p*n*n + i*n
+			pm.R[p][i] = pm.RFlat[off : off+n : off+n]
+			pm.W[p][i] = pm.WFlat[off : off+n : off+n]
+		}
+	}
+	return pm
 }
 
 // NumRefs returns the number of references the matrices cover.
@@ -346,33 +374,26 @@ func (pm *PathMatrices) NumRefs() int {
 
 // PathSimilarities computes the per-path similarity matrices among refs.
 // Neighborhoods are prefetched and the pairwise rows computed in parallel
-// under Config.Workers.
+// under Config.Workers. For each (i,j) pair one fused merge-scan per path
+// yields the resemblance and both directed walk probabilities at once.
 func (e *Engine) PathSimilarities(refs []reldb.TupleID) *PathMatrices {
 	n := len(refs)
-	pm := &PathMatrices{
-		R: make([][][]float64, len(e.paths)),
-		W: make([][][]float64, len(e.paths)),
-	}
-	for p := range e.paths {
-		pm.R[p] = make([][]float64, n)
-		pm.W[p] = make([][]float64, n)
-		for i := 0; i < n; i++ {
-			pm.R[p][i] = make([]float64, n)
-			pm.W[p][i] = make([]float64, n)
-		}
-	}
+	np := len(e.paths)
+	pm := NewPathMatrices(np, n)
 	e.ext.Prefetch(refs, e.cfg.Workers)
+	nn := n * n
 	// Row i fills entries (i,j) and (j,i) for j > i: every matrix cell is
 	// written by exactly one row worker, so rows can run concurrently.
 	parallelFor(n, e.cfg.Workers, func(i int) {
 		ni := e.ext.Neighborhoods(refs[i])
 		for j := i + 1; j < n; j++ {
 			nj := e.ext.Neighborhoods(refs[j])
-			for p := range e.paths {
-				r := sim.Resemblance(ni[p], nj[p])
-				pm.R[p][i][j], pm.R[p][j][i] = r, r
-				pm.W[p][i][j] = sim.WalkProb(ni[p], nj[p])
-				pm.W[p][j][i] = sim.WalkProb(nj[p], ni[p])
+			for p := 0; p < np; p++ {
+				r, wij, wji := sim.PairKernel(ni[p], nj[p])
+				base := p * nn
+				pm.RFlat[base+i*n+j], pm.RFlat[base+j*n+i] = r, r
+				pm.WFlat[base+i*n+j] = wij
+				pm.WFlat[base+j*n+i] = wji
 			}
 		}
 	})
@@ -380,7 +401,9 @@ func (e *Engine) PathSimilarities(refs []reldb.TupleID) *PathMatrices {
 }
 
 // Combine folds per-path matrices into one similarity matrix under the
-// given path weights (resemblance and walk weights respectively).
+// given path weights (resemblance and walk weights respectively). It
+// streams over the flat backing arrays row by row, splitting each row at
+// the diagonal so the inner loops carry no i == j test.
 func Combine(pm *PathMatrices, resemW, walkW []float64) cluster.Matrix {
 	n := pm.NumRefs()
 	m := cluster.NewMatrix(n)
@@ -389,13 +412,20 @@ func Combine(pm *PathMatrices, resemW, walkW []float64) cluster.Matrix {
 		if rw == 0 && ww == 0 {
 			continue
 		}
+		base := p * n * n
 		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
-				}
-				m.R[i][j] += rw * pm.R[p][i][j]
-				m.W[i][j] += ww * pm.W[p][i][j]
+			off := base + i*n
+			srcR := pm.RFlat[off : off+n]
+			srcW := pm.WFlat[off : off+n]
+			dstR := m.R[i]
+			dstW := m.W[i]
+			for j := 0; j < i; j++ {
+				dstR[j] += rw * srcR[j]
+				dstW[j] += ww * srcW[j]
+			}
+			for j := i + 1; j < n; j++ {
+				dstR[j] += rw * srcR[j]
+				dstW[j] += ww * srcW[j]
 			}
 		}
 	}
@@ -415,13 +445,14 @@ func (e *Engine) Similarities(refs []reldb.TupleID) cluster.Matrix {
 			nj := e.ext.Neighborhoods(refs[j])
 			var r, wij, wji float64
 			for p := range e.paths {
-				if e.resemW[p] > 0 {
-					r += e.resemW[p] * sim.Resemblance(ni[p], nj[p])
+				rw, ww := e.resemW[p], e.walkW[p]
+				if rw == 0 && ww == 0 {
+					continue
 				}
-				if e.walkW[p] > 0 {
-					wij += e.walkW[p] * sim.WalkProb(ni[p], nj[p])
-					wji += e.walkW[p] * sim.WalkProb(nj[p], ni[p])
-				}
+				pr, pij, pji := sim.PairKernel(ni[p], nj[p])
+				r += rw * pr
+				wij += ww * pij
+				wji += ww * pji
 			}
 			m.R[i][j], m.R[j][i] = r, r
 			m.W[i][j], m.W[j][i] = wij, wji

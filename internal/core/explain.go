@@ -36,8 +36,8 @@ func (e *Engine) Explain(r1, r2 reldb.TupleID) *Explanation {
 	n2 := e.ext.Neighborhoods(r2)
 	ex := &Explanation{R1: r1, R2: r2}
 	for p := range e.paths {
-		r := sim.Resemblance(n1[p], n2[p])
-		w := sim.SymWalkProb(n1[p], n2[p])
+		r, wab, wba := sim.PairKernel(n1[p], n2[p])
+		w := (wab + wba) / 2
 		if r == 0 && w == 0 {
 			continue
 		}

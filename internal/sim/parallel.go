@@ -11,10 +11,9 @@ import (
 // Prefetch computes and caches the neighborhoods of every given reference,
 // fanning the propagation work out over `workers` goroutines (0 means
 // GOMAXPROCS). Propagation per reference is independent and the database
-// is read-only, so the only synchronisation needed is the final cache
-// merge. After Prefetch returns, Neighborhoods/ResemVector/WalkVector hits
-// for those references are pure cache reads and safe to issue from
-// multiple goroutines concurrently.
+// is read-only, so the workers only synchronise on the final cache merge.
+// The sparse finalisation (sort + Σ Fwd) also runs on the workers, so a
+// prefetched reference costs the serving path nothing but a cache read.
 func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -22,6 +21,7 @@ func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 	// Deduplicate and drop already-cached references.
 	var todo []reldb.TupleID
 	seen := make(map[reldb.TupleID]bool, len(refs))
+	e.mu.RLock()
 	for _, r := range refs {
 		if seen[r] {
 			continue
@@ -31,6 +31,7 @@ func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 			todo = append(todo, r)
 		}
 	}
+	e.mu.RUnlock()
 	if len(todo) == 0 {
 		return
 	}
@@ -44,7 +45,7 @@ func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 		return
 	}
 
-	results := make([][]prop.Neighborhood, len(todo))
+	results := make([][]prop.SparseNeighborhood, len(todo))
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -52,7 +53,7 @@ func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = prop.PropagateMulti(e.db, todo[i], e.trie)
+				results[i] = prop.PropagateMultiSparse(e.db, todo[i], e.trie)
 			}
 		}()
 	}
@@ -61,7 +62,11 @@ func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 	}
 	close(next)
 	wg.Wait()
+	e.mu.Lock()
 	for i, r := range todo {
-		e.cache[r] = results[i]
+		if _, ok := e.cache[r]; !ok {
+			e.cache[r] = results[i]
+		}
 	}
+	e.mu.Unlock()
 }

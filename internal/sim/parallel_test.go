@@ -26,13 +26,14 @@ func TestPrefetchMatchesSequential(t *testing.T) {
 			t.Fatalf("ref %d: %d vs %d paths", r, len(a), len(b))
 		}
 		for p := range a {
-			if len(a[p]) != len(b[p]) {
+			if a[p].Len() != b[p].Len() {
 				t.Fatalf("ref %d path %d: neighborhood sizes differ", r, p)
 			}
-			for id, fb := range a[p] {
-				if pb, ok := b[p][id]; !ok ||
+			for i, id := range a[p].Keys {
+				fb := a[p].FBs[i]
+				if pb, ok := b[p].Lookup(id); !ok ||
 					math.Abs(pb.Fwd-fb.Fwd) > 1e-15 || math.Abs(pb.Bwd-fb.Bwd) > 1e-15 {
-					t.Fatalf("ref %d path %d tuple %d: %+v vs %+v", r, p, id, fb, b[p][id])
+					t.Fatalf("ref %d path %d tuple %d: %+v vs %+v", r, p, id, fb, pb)
 				}
 			}
 		}

@@ -10,20 +10,179 @@
 //
 // Both measures are computed per join path; the core package combines the
 // per-path values with learned (or uniform) weights.
+//
+// The kernels operate on prop.SparseNeighborhood — sorted parallel slices —
+// as linear merge-scans over the two key sets. When one operand is much
+// smaller than the other (the asymmetric case blocking produces), the scan
+// gallops: it exponentially probes then binary-searches the large side for
+// each key of the small side. The legacy map-based kernels are retained
+// (MapResemblance, MapWalkProb, MapSymWalkProb) as the reference
+// implementation the property tests compare against.
 package sim
 
 import (
 	"math"
+	"sync"
 
 	"distinct/internal/prop"
 	"distinct/internal/reldb"
 )
 
+// gallopFactor is the size ratio beyond which the intersection switches
+// from a two-pointer merge to galloping lookups of the small side's keys
+// in the large side. Below it, the branch-predictable linear merge wins.
+const gallopFactor = 8
+
+// pairAccum computes, in one pass over the intersection of the two sorted
+// key sets, every accumulator the similarity measures need:
+//
+//	interMin = Σ min(Fwd_a(t), Fwd_b(t))   (resemblance numerator)
+//	ab       = Σ Fwd_a(t)·Bwd_b(t)         (walk probability a → b)
+//	ba       = Σ Fwd_b(t)·Bwd_a(t)         (walk probability b → a)
+//
+// The intersection is always accumulated in ascending key order, so the
+// sums are deterministic and identical between the merge and gallop modes.
+func pairAccum(a, b prop.SparseNeighborhood) (interMin, ab, ba float64) {
+	ak, bk := a.Keys, b.Keys
+	if len(ak) == 0 || len(bk) == 0 {
+		return 0, 0, 0
+	}
+	if len(ak)*gallopFactor < len(bk) {
+		return gallopAccum(a, b, false)
+	}
+	if len(bk)*gallopFactor < len(ak) {
+		return gallopAccum(b, a, true)
+	}
+	i, j := 0, 0
+	for i < len(ak) && j < len(bk) {
+		switch {
+		case ak[i] < bk[j]:
+			i++
+		case ak[i] > bk[j]:
+			j++
+		default:
+			fa, fb := a.FBs[i], b.FBs[j]
+			interMin += math.Min(fa.Fwd, fb.Fwd)
+			ab += fa.Fwd * fb.Bwd
+			ba += fb.Fwd * fa.Bwd
+			i++
+			j++
+		}
+	}
+	return interMin, ab, ba
+}
+
+// gallopAccum is pairAccum's asymmetric mode: s is the (much) smaller
+// operand, l the larger. swapped records that s is the caller's b, so the
+// directed walk sums come out in the caller's orientation.
+func gallopAccum(s, l prop.SparseNeighborhood, swapped bool) (interMin, ab, ba float64) {
+	lk := l.Keys
+	j := 0
+	for i, k := range s.Keys {
+		j = gallopTo(lk, j, k)
+		if j == len(lk) {
+			break
+		}
+		if lk[j] == k {
+			fs, fl := s.FBs[i], l.FBs[j]
+			interMin += math.Min(fs.Fwd, fl.Fwd)
+			if swapped {
+				ab += fl.Fwd * fs.Bwd
+				ba += fs.Fwd * fl.Bwd
+			} else {
+				ab += fs.Fwd * fl.Bwd
+				ba += fl.Fwd * fs.Bwd
+			}
+			j++
+		}
+	}
+	return interMin, ab, ba
+}
+
+// gallopTo returns the smallest index i >= lo with keys[i] >= k, probing
+// exponentially from lo and then binary-searching the bracketed window —
+// O(log d) in the distance d advanced rather than O(log n) from scratch,
+// which is what makes repeated searches over one pass linear overall.
+func gallopTo(keys []reldb.TupleID, lo int, k reldb.TupleID) int {
+	if lo >= len(keys) || keys[lo] >= k {
+		return lo
+	}
+	// Invariant: keys[lo+step/2] < k (for the step just doubled past).
+	step := 1
+	for lo+step < len(keys) && keys[lo+step] < k {
+		lo += step
+		step *= 2
+	}
+	hi := lo + step
+	if hi > len(keys) {
+		hi = len(keys)
+	}
+	lo++ // keys[lo] < k established above
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Resemblance returns the set resemblance between two references'
 // neighborhoods along one join path (Definition 2): the weighted Jaccard
 // coefficient Σ min(Fwd_a(t), Fwd_b(t)) / Σ max(Fwd_a(t), Fwd_b(t)), where
 // the sums range over the intersection and union of the neighborhoods.
-func Resemblance(a, b prop.Neighborhood) float64 {
+// Σ max over the union = SumFwd_a + SumFwd_b − Σ min over the intersection,
+// and both SumFwd terms were precomputed when the sparse form was built.
+func Resemblance(a, b prop.SparseNeighborhood) float64 {
+	if len(a.Keys) == 0 || len(b.Keys) == 0 {
+		return 0
+	}
+	interMin, _, _ := pairAccum(a, b)
+	denom := a.SumFwd + b.SumFwd - interMin
+	if denom <= 0 {
+		return 0
+	}
+	return interMin / denom
+}
+
+// WalkProb returns the directed random walk probability Walk_P(r1 → r2): the
+// probability of reaching r2 from r1 by walking the join path to a shared
+// neighbor tuple and the reversed path back, i.e. Σ_t Fwd_a(t)·Bwd_b(t).
+// Composing the two per-path probabilities avoids re-walking the
+// concatenated double-length path, as Section 2.4 of the paper notes.
+func WalkProb(a, b prop.SparseNeighborhood) float64 {
+	_, ab, _ := pairAccum(a, b)
+	return ab
+}
+
+// SymWalkProb returns the symmetrised walk probability, the mean of the two
+// directions, computed in a single merge-scan.
+func SymWalkProb(a, b prop.SparseNeighborhood) float64 {
+	_, ab, ba := pairAccum(a, b)
+	return (ab + ba) / 2
+}
+
+// PairKernel returns every pairwise similarity between two neighborhoods in
+// one merge-scan: the set resemblance and both directed walk probabilities.
+// The all-pairs stages (core.PathSimilarities, core.Similarities) need all
+// three per (pair, path), so fusing them walks the intersection once
+// instead of three times.
+func PairKernel(a, b prop.SparseNeighborhood) (resem, walkAB, walkBA float64) {
+	interMin, ab, ba := pairAccum(a, b)
+	if len(a.Keys) != 0 && len(b.Keys) != 0 {
+		if denom := a.SumFwd + b.SumFwd - interMin; denom > 0 {
+			resem = interMin / denom
+		}
+	}
+	return resem, ab, ba
+}
+
+// MapResemblance is the legacy map-based set resemblance. It is the
+// reference implementation: the property tests assert the merge-scan
+// kernel matches it on randomized neighborhoods.
+func MapResemblance(a, b prop.Neighborhood) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
@@ -51,12 +210,8 @@ func Resemblance(a, b prop.Neighborhood) float64 {
 	return interMin / denom
 }
 
-// WalkProb returns the directed random walk probability Walk_P(r1 → r2): the
-// probability of reaching r2 from r1 by walking the join path to a shared
-// neighbor tuple and the reversed path back, i.e. Σ_t Fwd_a(t)·Bwd_b(t).
-// Composing the two per-path probabilities avoids re-walking the
-// concatenated double-length path, as Section 2.4 of the paper notes.
-func WalkProb(a, b prop.Neighborhood) float64 {
+// MapWalkProb is the legacy map-based directed walk probability.
+func MapWalkProb(a, b prop.Neighborhood) float64 {
 	small, large := a, b
 	swapped := false
 	if len(b) < len(a) {
@@ -76,21 +231,28 @@ func WalkProb(a, b prop.Neighborhood) float64 {
 	return p
 }
 
-// SymWalkProb returns the symmetrised walk probability, the mean of the two
-// directions.
-func SymWalkProb(a, b prop.Neighborhood) float64 {
-	return (WalkProb(a, b) + WalkProb(b, a)) / 2
+// MapSymWalkProb is the legacy map-based symmetrised walk probability.
+func MapSymWalkProb(a, b prop.Neighborhood) float64 {
+	return (MapWalkProb(a, b) + MapWalkProb(b, a)) / 2
 }
 
 // Extractor computes and caches per-reference neighborhoods along a fixed
 // set of join paths, and derives per-pair feature vectors from them. Each
 // reference's propagation runs once no matter how many pairs it appears in;
 // this is what makes all-pairs feature computation affordable (§4.2).
+// Neighborhoods are cached in sparse form: built once, read many times.
+//
+// The cache is guarded by a read-write mutex, so Neighborhoods (and the
+// vector methods built on it) may be called from concurrent goroutines
+// even for uncached references; concurrent misses of the same reference
+// deduplicate to the first result stored.
 type Extractor struct {
 	db    *reldb.Database
 	paths []reldb.JoinPath
 	trie  *prop.Trie // shared-prefix walk over all paths at once
-	cache map[reldb.TupleID][]prop.Neighborhood
+
+	mu    sync.RWMutex
+	cache map[reldb.TupleID][]prop.SparseNeighborhood
 }
 
 // NewExtractor creates an extractor over the given database and join paths.
@@ -99,7 +261,7 @@ func NewExtractor(db *reldb.Database, paths []reldb.JoinPath) *Extractor {
 		db:    db,
 		paths: paths,
 		trie:  prop.NewTrie(paths),
-		cache: make(map[reldb.TupleID][]prop.Neighborhood),
+		cache: make(map[reldb.TupleID][]prop.SparseNeighborhood),
 	}
 }
 
@@ -109,13 +271,23 @@ func (e *Extractor) Paths() []reldb.JoinPath { return e.paths }
 
 // Neighborhoods returns the reference's neighborhood along every path,
 // computing and caching them on first use. All paths are walked in one
-// prefix-trie traversal (see prop.PropagateMulti).
-func (e *Extractor) Neighborhoods(r reldb.TupleID) []prop.Neighborhood {
-	if nbs, ok := e.cache[r]; ok {
+// prefix-trie traversal (see prop.PropagateMulti) and finalised into
+// sparse form. Safe for concurrent use.
+func (e *Extractor) Neighborhoods(r reldb.TupleID) []prop.SparseNeighborhood {
+	e.mu.RLock()
+	nbs, ok := e.cache[r]
+	e.mu.RUnlock()
+	if ok {
 		return nbs
 	}
-	nbs := prop.PropagateMulti(e.db, r, e.trie)
-	e.cache[r] = nbs
+	nbs = prop.PropagateMultiSparse(e.db, r, e.trie)
+	e.mu.Lock()
+	if prev, ok := e.cache[r]; ok {
+		nbs = prev // lost the race: share the first stored result
+	} else {
+		e.cache[r] = nbs
+	}
+	e.mu.Unlock()
 	return nbs
 }
 
@@ -140,4 +312,8 @@ func (e *Extractor) WalkVector(r1, r2 reldb.TupleID) []float64 {
 }
 
 // CacheSize reports how many references have cached neighborhoods.
-func (e *Extractor) CacheSize() int { return len(e.cache) }
+func (e *Extractor) CacheSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.cache)
+}

@@ -19,11 +19,16 @@ func nb(triples ...float64) prop.Neighborhood {
 	return n
 }
 
+// sp builds the sparse form of the same triples.
+func sp(triples ...float64) prop.SparseNeighborhood {
+	return nb(triples...).Sparse()
+}
+
 func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
 
 func TestResemblanceHandComputed(t *testing.T) {
-	a := nb(1, 0.5, 0.3, 2, 0.5, 0.2)
-	b := nb(2, 0.25, 0.1, 3, 0.75, 0.9)
+	a := sp(1, 0.5, 0.3, 2, 0.5, 0.2)
+	b := sp(2, 0.25, 0.1, 3, 0.75, 0.9)
 	// Intersection {2}: min = 0.25. Union max: max(t1)=0.5, max(t2)=0.5, max(t3)=0.75.
 	want := 0.25 / (0.5 + 0.5 + 0.75)
 	if got := Resemblance(a, b); !approx(got, want) {
@@ -36,25 +41,25 @@ func TestResemblanceHandComputed(t *testing.T) {
 }
 
 func TestResemblanceIdentityAndDisjoint(t *testing.T) {
-	a := nb(1, 0.4, 0.1, 2, 0.6, 0.2)
+	a := sp(1, 0.4, 0.1, 2, 0.6, 0.2)
 	if got := Resemblance(a, a); !approx(got, 1.0) {
 		t.Errorf("self resemblance = %v, want 1", got)
 	}
-	b := nb(3, 1.0, 1.0)
+	b := sp(3, 1.0, 1.0)
 	if got := Resemblance(a, b); got != 0 {
 		t.Errorf("disjoint resemblance = %v, want 0", got)
 	}
-	if got := Resemblance(nil, a); got != 0 {
+	if got := Resemblance(prop.SparseNeighborhood{}, a); got != 0 {
 		t.Errorf("empty resemblance = %v, want 0", got)
 	}
-	if got := Resemblance(a, prop.Neighborhood{}); got != 0 {
+	if got := Resemblance(a, prop.SparseNeighborhood{}); got != 0 {
 		t.Errorf("empty resemblance = %v, want 0", got)
 	}
 }
 
 func TestWalkProbHandComputed(t *testing.T) {
-	a := nb(1, 0.5, 0.4, 2, 0.5, 0.6)
-	b := nb(1, 0.2, 0.3, 3, 0.8, 0.9)
+	a := sp(1, 0.5, 0.4, 2, 0.5, 0.6)
+	b := sp(1, 0.2, 0.3, 3, 0.8, 0.9)
 	// Directed a->b: shared {1}: Fwd_a(1)*Bwd_b(1) = 0.5*0.3.
 	if got := WalkProb(a, b); !approx(got, 0.15) {
 		t.Errorf("WalkProb(a,b) = %v, want 0.15", got)
@@ -71,15 +76,32 @@ func TestWalkProbHandComputed(t *testing.T) {
 	}
 }
 
-func TestWalkProbSwappedBranch(t *testing.T) {
-	// Make len(a) > len(b) to exercise the swapped iteration branch.
-	a := nb(1, 0.25, 0.5, 2, 0.25, 0.5, 3, 0.5, 0.5)
-	b := nb(1, 1.0, 0.75)
+func TestWalkProbAsymmetricSizes(t *testing.T) {
+	// len(a) > len(b) exercises the small/large ordering inside the scan.
+	a := sp(1, 0.25, 0.5, 2, 0.25, 0.5, 3, 0.5, 0.5)
+	b := sp(1, 1.0, 0.75)
 	if got := WalkProb(a, b); !approx(got, 0.25*0.75) {
 		t.Errorf("WalkProb = %v, want %v", got, 0.25*0.75)
 	}
 	if got := WalkProb(b, a); !approx(got, 1.0*0.5) {
 		t.Errorf("WalkProb = %v, want 0.5", got)
+	}
+}
+
+func TestPairKernelMatchesIndividualKernels(t *testing.T) {
+	a := sp(1, 0.5, 0.4, 2, 0.3, 0.6, 5, 0.2, 0.1)
+	b := sp(2, 0.25, 0.1, 3, 0.5, 0.9, 5, 0.25, 0.3)
+	r, ab, ba := PairKernel(a, b)
+	if !approx(r, Resemblance(a, b)) {
+		t.Errorf("PairKernel resem = %v, Resemblance = %v", r, Resemblance(a, b))
+	}
+	if !approx(ab, WalkProb(a, b)) || !approx(ba, WalkProb(b, a)) {
+		t.Errorf("PairKernel walks = %v/%v, WalkProb = %v/%v",
+			ab, ba, WalkProb(a, b), WalkProb(b, a))
+	}
+	// Empty operands.
+	if r, ab, ba := PairKernel(prop.SparseNeighborhood{}, b); r != 0 || ab != 0 || ba != 0 {
+		t.Errorf("PairKernel with empty operand = %v/%v/%v, want zeros", r, ab, ba)
 	}
 }
 
@@ -96,7 +118,7 @@ func randomNeighborhood(rng *rand.Rand) prop.Neighborhood {
 func TestResemblanceProperties(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		a, b := randomNeighborhood(rng), randomNeighborhood(rng)
+		a, b := randomNeighborhood(rng).Sparse(), randomNeighborhood(rng).Sparse()
 		r1, r2 := Resemblance(a, b), Resemblance(b, a)
 		if !approx(r1, r2) {
 			t.Logf("asymmetric: %v vs %v", r1, r2)
@@ -122,7 +144,8 @@ func TestResemblanceProperties(t *testing.T) {
 func TestWalkProbProperties(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		a, b := randomNeighborhood(rng), randomNeighborhood(rng)
+		am, b := randomNeighborhood(rng), randomNeighborhood(rng).Sparse()
+		a := am.Sparse()
 		s := SymWalkProb(a, b)
 		if s < 0 {
 			return false
@@ -131,14 +154,14 @@ func TestWalkProbProperties(t *testing.T) {
 			return false
 		}
 		// Remove one shared tuple, if any: probability must not increase.
-		for id := range a {
-			if _, ok := b[id]; ok {
-				a2 := make(prop.Neighborhood, len(a))
-				for k, v := range a {
+		for _, id := range a.Keys {
+			if _, ok := b.Lookup(id); ok {
+				a2 := make(prop.Neighborhood, len(am))
+				for k, v := range am {
 					a2[k] = v
 				}
 				delete(a2, id)
-				if SymWalkProb(a2, b) > s+1e-12 {
+				if SymWalkProb(a2.Sparse(), b) > s+1e-12 {
 					return false
 				}
 				break
@@ -205,5 +228,15 @@ func TestExtractorVectorsAndCache(t *testing.T) {
 	v2 := e.ResemVector(refs[0], refs[1])
 	if !approx(v[0], v2[0]) || e.CacheSize() != 2 {
 		t.Error("cache changed results")
+	}
+	// Cached neighborhoods are sorted sparse vectors.
+	for _, r := range refs {
+		for p, s := range e.Neighborhoods(r) {
+			for i := 1; i < len(s.Keys); i++ {
+				if s.Keys[i-1] >= s.Keys[i] {
+					t.Fatalf("ref %d path %d: keys not strictly ascending", r, p)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench.sh — run the key benchmarks and emit a machine-readable perf
+# baseline (ns/op, B/op, allocs/op) for cross-PR trajectory tracking.
+#
+# Usage:  scripts/bench.sh [OUT.json]        (default BENCH_<n>.json, where
+#                                             n = 1 + highest existing)
+#
+# The JSON is a list of {name, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op, metrics{...}} objects; extra b.ReportMetric columns land
+# in metrics. Compare two files with e.g.:
+#   jq -s '[.[0][] as $a | .[1][] | select(.name == $a.name)
+#           | {name, speedup: ($a.ns_per_op / .ns_per_op)}]' OLD.json NEW.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+if [[ -z "$out" ]]; then
+  n=1
+  while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+  out="BENCH_${n}.json"
+fi
+
+benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering)$'
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench="$benchre" -benchmem -count=1 . | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^(goos|goarch|pkg|cpu):/ { meta[$1] = substr($0, index($0, $2)); next }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2
+  ns = ""; bytes = ""; allocs = ""; metrics = ""
+  for (i = 3; i < NF; i += 2) {
+    v = $i; u = $(i + 1)
+    if (u == "ns/op") ns = v
+    else if (u == "B/op") bytes = v
+    else if (u == "allocs/op") allocs = v
+    else {
+      gsub(/"/, "\\\"", u)
+      metrics = metrics (metrics == "" ? "" : ", ") "\"" u "\": " v
+    }
+  }
+  row = sprintf("  {\"name\": \"%s\", \"iterations\": %s", name, iters)
+  if (ns != "")     row = row sprintf(", \"ns_per_op\": %s", ns)
+  if (bytes != "")  row = row sprintf(", \"bytes_per_op\": %s", bytes)
+  if (allocs != "") row = row sprintf(", \"allocs_per_op\": %s", allocs)
+  if (metrics != "") row = row ", \"metrics\": {" metrics "}"
+  row = row "}"
+  rows[nrows++] = row
+  next
+}
+END {
+  printf "{\n"
+  printf "  \"date\": \"%s\",\n", date
+  printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", meta["goos:"], meta["goarch:"], meta["cpu:"]
+  printf "  \"benchmarks\": [\n"
+  for (i = 0; i < nrows; i++) printf "  %s%s\n", rows[i], (i < nrows - 1 ? "," : "")
+  printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"

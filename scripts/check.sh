@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# check.sh — the tier-1+ gate: build, vet, race-test the concurrency-bearing
+# packages (the extractor cache and the parallel pairwise stages), then run
+# the full test suite. Run before sending any PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race ./internal/sim/... ./internal/core/..."
+go test -race ./internal/sim/... ./internal/core/...
+echo "== go test ./..."
+go test ./...
+echo "check.sh: all green"
