@@ -12,6 +12,8 @@
 //	         [-batch N]            disambiguate every name with >= N refs
 //	         [-tune]               auto-tune min-sim on rare-name pairs
 //	         [-savemodel model.json] [-loadmodel model.json]
+//	         [-metrics out.json]   dump the observability snapshot at exit
+//	         [-obs addr]           serve /metrics, /debug/vars, pprof live
 package main
 
 import (
@@ -45,8 +47,34 @@ func main() {
 		dupNames     = flag.Int("dupnames", 0, "find the top-N differently written names that may denote one object (record linkage)")
 		saveModel    = flag.String("savemodel", "", "write the trained weights to this file")
 		loadModel    = flag.String("loadmodel", "", "load weights from this file instead of training")
+		metricsOut   = flag.String("metrics", "", "write the observability snapshot (JSON) to this file at exit")
+		obsAddr      = flag.String("obs", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// Observability is opt-in: either flag creates the registry the whole
+	// pipeline reports into; neither means the nil no-cost registry.
+	var reg *distinct.Registry
+	if *metricsOut != "" || *obsAddr != "" {
+		reg = distinct.NewMetrics()
+	}
+	if *obsAddr != "" {
+		srv, err := distinct.ServeMetrics(*obsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := reg.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "distinct: writing metrics:", err)
+				return
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		}()
+	}
 
 	var measure distinct.Measure
 	switch *measureName {
@@ -107,6 +135,7 @@ func main() {
 			NumPositive: *trainN, NumNegative: *trainN,
 			Exclude: ambiguous, Seed: *seed,
 		},
+		Metrics: reg,
 	})
 	if err != nil {
 		fatal(err)

@@ -7,6 +7,7 @@
 //	experiments [-all] [-table1] [-table2] [-figure4] [-figure5] [-timing]
 //	            [-ablation] [-name "Wei Wang"] [-dot out.dot]
 //	            [-seed N] [-communities N] [-authors N] [-minsim X]
+//	            [-metrics out.json] [-obs addr]
 //
 // With no experiment flags, -all is assumed.
 package main
@@ -21,6 +22,7 @@ import (
 	"distinct/internal/dblp"
 	"distinct/internal/experiments"
 	"distinct/internal/music"
+	"distinct/internal/obs"
 )
 
 func main() {
@@ -49,8 +51,33 @@ func main() {
 		minSim  = flag.Float64("minsim", 0, "override DISTINCT's min-sim threshold")
 		trainN  = flag.Int("train", 0, "override training pairs per class (paper: 1000)")
 		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+
+		metricsOut = flag.String("metrics", "", "write the observability snapshot (JSON) to this file at exit")
+		obsAddr    = flag.String("obs", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *obsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := reg.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing metrics:", err)
+				return
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		}()
+	}
 
 	if !*table1 && !*table2 && !*figure4 && !*figure5 && !*timing && !*ablate && !*scaling && !*noise && !*musicF && !*tsize && !*seedsF && !*citesF && !*expandF {
 		*all = true
@@ -72,7 +99,7 @@ func main() {
 	if *authors > 0 {
 		world.AuthorsPerCommunity = *authors
 	}
-	opts := experiments.Options{World: world, MinSim: *minSim, Seed: *seed}
+	opts := experiments.Options{World: world, MinSim: *minSim, Seed: *seed, Obs: reg}
 	if *trainN > 0 {
 		opts.TrainPositive, opts.TrainNegative = *trainN, *trainN
 	}

@@ -6,6 +6,7 @@ import (
 	"distinct/internal/cluster"
 	"distinct/internal/core"
 	"distinct/internal/eval"
+	"distinct/internal/obs"
 	"distinct/internal/reldb"
 	"distinct/internal/svm"
 	"distinct/internal/trainset"
@@ -112,6 +113,30 @@ type Config struct {
 	// Workers bounds the goroutines used for feature extraction, the
 	// dominant cost (0 = GOMAXPROCS, 1 = sequential).
 	Workers int
+	// Metrics, when non-nil, collects per-stage spans and pipeline
+	// counters for every operation on the engine (see NewMetrics). Nil —
+	// the default — records nothing and costs nothing.
+	Metrics *Registry
+}
+
+// Registry is the observability registry: named atomic counters, gauges,
+// fixed-bucket histograms, and per-stage span aggregates. Hand one to
+// Config.Metrics, then read Registry.Snapshot, dump it with
+// Registry.WriteFile, or serve it live with ServeMetrics.
+type Registry = obs.Registry
+
+// NewMetrics returns an empty observability registry.
+func NewMetrics() *Registry { return obs.NewRegistry() }
+
+// MetricsServer is a running observability HTTP server (see ServeMetrics).
+type MetricsServer = obs.Server
+
+// ServeMetrics starts an HTTP server on addr exposing the registry: JSON
+// snapshots at /metrics, expvar-compatible output at /debug/vars, and the
+// standard net/http/pprof profiling endpoints. Close the returned server
+// when done.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
 }
 
 // Engine is a ready-to-use DISTINCT instance bound to one database.
@@ -135,6 +160,7 @@ func Open(db *Database, cfg Config) (*Engine, error) {
 		Train:       cfg.Train,
 		SVM:         cfg.SVM,
 		Workers:     cfg.Workers,
+		Obs:         cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

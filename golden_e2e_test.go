@@ -1,0 +1,154 @@
+// End-to-end golden regression test: the full supervised pipeline — world
+// generation, training, batch disambiguation — on a fixed seed must keep
+// producing byte-identical group assignments and pipeline counters. Any
+// intentional behaviour change regenerates the golden file with
+//
+//	go test -run TestGoldenE2E -update
+//
+// and the diff of testdata/golden_e2e.json becomes part of the review.
+package distinct_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"distinct"
+	"distinct/internal/dblp"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_e2e.json from the current pipeline output")
+
+// goldenE2E is the committed shape: the batch outcome plus every obs
+// counter. Only counters are compared — gauges, histogram sums, and stage
+// timings carry wall-clock values that vary run to run; counters are item
+// counts the pipeline must reproduce exactly.
+type goldenE2E struct {
+	NamesExamined int                   `json:"names_examined"`
+	Groups        map[string][][]string `json:"groups"` // split name -> groups of paper keys
+	Counters      map[string]int64      `json:"counters"`
+}
+
+const goldenPath = "testdata/golden_e2e.json"
+
+// goldenWorld mirrors BenchmarkDisambiguateAll's scaled world: large enough
+// to exercise training, blocking, and batch clustering; small enough to run
+// under -race in CI.
+func goldenRun(t *testing.T) goldenE2E {
+	t.Helper()
+	cfg := dblp.DefaultConfig()
+	cfg.Communities = 6
+	cfg.AuthorsPerCommunity = 50
+	w, err := dblp.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := distinct.NewMetrics()
+	eng, err := distinct.Open(w.DB, distinct.Config{
+		RefRelation: dblp.ReferenceRelation,
+		RefAttr:     dblp.ReferenceAttr,
+		SkipExpand:  []string{dblp.TitleAttr},
+		Train: distinct.TrainOptions{
+			NumPositive: 300, NumNegative: 300,
+			Exclude: w.AmbiguousNames(), Seed: 1,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.DisambiguateAll(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := goldenE2E{
+		NamesExamined: res.NamesExamined,
+		Groups:        make(map[string][][]string, len(res.Split)),
+		Counters:      reg.Snapshot().Counters,
+	}
+	for _, sp := range res.Split {
+		groups := make([][]string, len(sp.Groups))
+		for i, g := range sp.Groups {
+			keys := make([]string, len(g))
+			for j, r := range g {
+				keys[j] = eng.DB().Tuple(r).Val("paper-key")
+			}
+			sort.Strings(keys)
+			groups[i] = keys
+		}
+		got.Groups[sp.Name] = groups
+	}
+	return got
+}
+
+func TestGoldenE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	got := goldenRun(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s (%d split names, %d counters)",
+			goldenPath, len(got.Groups), len(got.Counters))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want goldenE2E
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+
+	if got.NamesExamined != want.NamesExamined {
+		t.Errorf("names examined = %d, want %d", got.NamesExamined, want.NamesExamined)
+	}
+	// Group assignments: exact match per name, and no extra/missing names.
+	for name, wantGroups := range want.Groups {
+		gotGroups, ok := got.Groups[name]
+		if !ok {
+			t.Errorf("name %q no longer splits", name)
+			continue
+		}
+		if !reflect.DeepEqual(gotGroups, wantGroups) {
+			t.Errorf("groups of %q changed:\n got %v\nwant %v", name, gotGroups, wantGroups)
+		}
+	}
+	for name := range got.Groups {
+		if _, ok := want.Groups[name]; !ok {
+			t.Errorf("name %q now splits but is not in the golden file", name)
+		}
+	}
+	// Counters: every golden counter must be reproduced exactly, and no new
+	// counters may appear unrecorded (adding instrumentation means -update).
+	for name, wantV := range want.Counters {
+		if gotV, ok := got.Counters[name]; !ok || gotV != wantV {
+			t.Errorf("counter %s = %d, want %d", name, gotV, wantV)
+		}
+	}
+	for name := range got.Counters {
+		if _, ok := want.Counters[name]; !ok {
+			t.Errorf("new counter %s not in golden file (run -update)", name)
+		}
+	}
+}

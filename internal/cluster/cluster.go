@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"distinct/internal/obs"
 )
 
 // PairSim supplies the base similarities between two references, identified
@@ -88,6 +90,12 @@ type Options struct {
 	// MinSim stops merging once the best cluster-pair similarity falls
 	// below it. The paper runs DISTINCT with min-sim 0.0005.
 	MinSim float64
+	// Obs, when non-nil, receives the run's counters: cluster.runs,
+	// cluster.merges, and cluster.pruned_below_minsim (candidate pairs the
+	// stop threshold kept out of the merge heap). Counts accumulate
+	// locally and post once per run, so instrumentation stays off the
+	// merge loop's hot path.
+	Obs *obs.Registry
 }
 
 // pairStats aggregates the base similarities between two clusters. All
@@ -159,6 +167,7 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 	if n <= 0 {
 		return nil, nil
 	}
+	var merges, pruned int64 // posted to opts.Obs once per run
 	var trace []Merge
 	clusters := make([]clusterState, n, 2*n)
 	for i := range clusters {
@@ -176,6 +185,8 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 			stats[[2]int{i, j}] = st
 			if s := similarity(st, 1, 1, opts.Measure); s >= opts.MinSim {
 				h = append(h, candidate{sim: s, a: i, b: j})
+			} else {
+				pruned++
 			}
 		}
 	}
@@ -188,6 +199,7 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 		}
 		// Cluster ids are never reused and a pair's stats never change while
 		// both clusters are alive, so the popped similarity is current.
+		merges++
 		clusters[c.a].alive = false
 		clusters[c.b].alive = false
 		nid := len(clusters)
@@ -212,9 +224,17 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 			s := similarity(ns, len(clusters[oid].members), len(merged), opts.Measure)
 			if s >= opts.MinSim {
 				heap.Push(&h, candidate{sim: s, a: oid, b: nid})
+			} else {
+				pruned++
 			}
 		}
 		delete(stats, [2]int{c.a, c.b})
+	}
+
+	if opts.Obs != nil {
+		opts.Obs.Counter("cluster.runs").Inc()
+		opts.Obs.Counter("cluster.merges").Add(merges)
+		opts.Obs.Counter("cluster.pruned_below_minsim").Add(pruned)
 	}
 
 	var out [][]int
@@ -305,7 +325,7 @@ func (m Matrix) Walk(i, j int) float64 { return m.W[i][j] }
 // NewMatrix allocates an n×n zero matrix pair over one flat backing array.
 func NewMatrix(n int) Matrix {
 	backing := make([]float64, 2*n*n)
-	rf := backing[:n*n:n*n]
+	rf := backing[: n*n : n*n]
 	wf := backing[n*n:]
 	rows := make([][]float64, 2*n)
 	r, w := rows[:n:n], rows[n:]

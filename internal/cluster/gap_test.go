@@ -58,6 +58,65 @@ func TestCutAtGapZeroSims(t *testing.T) {
 	}
 }
 
+func TestCutAtGapAllIdenticalSims(t *testing.T) {
+	// Every merge at the same similarity: every ratio is exactly 1, so no
+	// gap exists at any minRatio — including the floor minRatio<=1, which
+	// CutAtGap resets to 10.
+	same := []Merge{{Sim: 0.02}, {Sim: 0.02}, {Sim: 0.02}, {Sim: 0.02}}
+	if cut, ok := CutAtGap(same, 10); ok {
+		t.Errorf("gap found in identical profile: cut=%v", cut)
+	}
+	if cut, ok := CutAtGap(same, 0); ok {
+		t.Errorf("gap found in identical profile at floored minRatio: cut=%v", cut)
+	}
+	// All-zero similarities clamp to the floor on both sides: still ratio 1.
+	zeros := []Merge{{Sim: 0}, {Sim: 0}, {Sim: 0}}
+	if cut, ok := CutAtGap(zeros, 10); ok {
+		t.Errorf("gap found in all-zero profile: cut=%v", cut)
+	}
+}
+
+func TestAgglomerateAutoTrivialSizes(t *testing.T) {
+	m := blobs(8, 4, 0.8, 0.0003)
+	// A single reference has no merges at all: one singleton group.
+	got := AgglomerateAuto(1, m, Combined, 10, 0)
+	if !reflect.DeepEqual(got, [][]int{{0}}) {
+		t.Errorf("n=1 clustering = %v", got)
+	}
+	// Two references produce one merge — below the two needed for an
+	// interior gap — so the fallback threshold decides.
+	got = AgglomerateAuto(2, m, Combined, 10, 0)
+	if !reflect.DeepEqual(got, [][]int{{0, 1}}) {
+		t.Errorf("n=2 fallback-0 clustering = %v", got)
+	}
+	got = AgglomerateAuto(2, m, Combined, 10, 5)
+	if !reflect.DeepEqual(got, [][]int{{0}, {1}}) {
+		t.Errorf("n=2 high-fallback clustering = %v", got)
+	}
+}
+
+// constSim is a PairSim whose every similarity is the same constant.
+type constSim float64
+
+func (c constSim) Resem(i, j int) float64 { return float64(c) }
+func (c constSim) Walk(i, j int) float64  { return float64(c) }
+
+func TestAgglomerateAutoAllIdenticalSims(t *testing.T) {
+	// An all-identical similarity matrix has a flat merge profile under
+	// single or complete link; average-link chaining keeps it within one
+	// order of magnitude, so no spurious gap may fire and the fallback
+	// governs: 0 merges everything, above-constant splits everything.
+	flat := constSim(0.3)
+	got := AgglomerateAuto(5, flat, Combined, 100, 0)
+	if len(got) != 1 || len(got[0]) != 5 {
+		t.Errorf("identical sims with fallback 0: %v", got)
+	}
+	got = AgglomerateAuto(5, flat, Combined, 100, 1)
+	if len(got) != 5 {
+		t.Errorf("identical sims with fallback above the constant: %v", got)
+	}
+}
+
 func TestAgglomerateAutoOnBlobs(t *testing.T) {
 	// Two tight blobs, weak cross links: auto cutting must find 2 clusters
 	// without any threshold input.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"distinct/internal/cluster"
 	"distinct/internal/eval"
@@ -64,10 +65,21 @@ func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
 	}
 	e.ext.Prefetch(allRefs, e.cfg.Workers)
 
+	sp := e.obs.StartStage("batch")
+	// Per-name latency lands in a histogram; the clock reads are guarded so
+	// a disabled registry costs nothing per name.
+	latency := e.obs.Histogram("batch.name_seconds", nil)
 	results := make([][][]reldb.TupleID, len(jobs))
 	parallelFor(len(jobs), e.cfg.Workers, func(i int) {
+		if latency != nil {
+			t0 := time.Now()
+			results[i] = e.DisambiguateRefs(jobs[i].refs)
+			latency.ObserveDuration(time.Since(t0))
+			return
+		}
 		results[i] = e.DisambiguateRefs(jobs[i].refs)
 	})
+	sp.End(len(jobs))
 
 	res := &BatchResult{NamesExamined: len(jobs)}
 	for i, j := range jobs {
@@ -75,6 +87,8 @@ func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
 			res.Split = append(res.Split, NameGroups{Name: j.name, Groups: results[i]})
 		}
 	}
+	e.obs.Counter("batch.names_examined").Add(int64(res.NamesExamined))
+	e.obs.Counter("batch.names_split").Add(int64(len(res.Split)))
 	sort.Slice(res.Split, func(i, j int) bool {
 		if len(res.Split[i].Groups) != len(res.Split[j].Groups) {
 			return len(res.Split[i].Groups) > len(res.Split[j].Groups)

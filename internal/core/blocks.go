@@ -48,6 +48,8 @@ func (u *unionFind) union(a, b int) {
 // resemblance or walk weight. Each block lists indexes into refs, blocks
 // ordered by smallest member, members ascending.
 func (e *Engine) blocks(refs []reldb.TupleID) [][]int {
+	sp := e.obs.StartStage("blocks")
+	defer func() { sp.End(len(refs)) }()
 	e.ext.Prefetch(refs, e.cfg.Workers)
 	uf := newUnionFind(len(refs))
 	// Inverted index: (path, neighbor tuple) -> first reference seen with
@@ -84,6 +86,21 @@ func (e *Engine) blocks(refs []reldb.TupleID) [][]int {
 		out = append(out, members)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	if e.obs != nil {
+		// Pairs kept is Σ over blocks of b(b-1)/2; pruned is what the
+		// naive quadratic pass would have computed across blocks.
+		n := int64(len(refs))
+		naive := n * (n - 1) / 2
+		var kept int64
+		for _, b := range out {
+			bn := int64(len(b))
+			kept += bn * (bn - 1) / 2
+		}
+		e.obs.Counter("blocks.found").Add(int64(len(out)))
+		e.obs.Counter("blocks.pairs_naive").Add(naive)
+		e.obs.Counter("blocks.pairs_kept").Add(kept)
+		e.obs.Counter("blocks.pairs_pruned").Add(naive - kept)
+	}
 	return out
 }
 
@@ -112,7 +129,7 @@ func (e *Engine) disambiguateBlocked(refs []reldb.TupleID) [][]reldb.TupleID {
 		if len(sub) == 1 {
 			clusters = [][]reldb.TupleID{sub}
 		} else {
-			clusters = ClusterMatrix(sub, e.Similarities(sub), e.cfg.Measure, e.cfg.MinSim)
+			clusters = e.clusterRefs(sub, e.Similarities(sub))
 		}
 		for _, c := range clusters {
 			all = append(all, ordered{at: pos[c[0]], cluster: c})

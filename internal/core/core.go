@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"distinct/internal/cluster"
+	"distinct/internal/obs"
 	"distinct/internal/reldb"
 	"distinct/internal/sim"
 	"distinct/internal/svm"
@@ -69,6 +70,13 @@ type Config struct {
 	// Workers bounds the goroutines used for feature extraction (the
 	// dominant cost). 0 means GOMAXPROCS; 1 forces sequential execution.
 	Workers int
+
+	// Obs, when non-nil, receives per-stage spans (wall time, items,
+	// allocations) and pipeline counters for the whole run: expansion,
+	// path enumeration, training, similarity matrices, blocking, batch
+	// disambiguation, and clustering. Nil (the default) costs nothing on
+	// any hot path; see internal/obs and DESIGN.md §8 for the taxonomy.
+	Obs *obs.Registry
 }
 
 // DefaultMinSim is the default clustering threshold. It plays the role of
@@ -123,6 +131,7 @@ type Engine struct {
 	walkW  []float64
 
 	timings Timings
+	obs     *obs.Registry // nil when observability is off
 }
 
 // NewEngine expands the database, enumerates join paths, and installs
@@ -143,19 +152,23 @@ func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
 	}
 
 	t0 := time.Now()
+	sp := cfg.Obs.StartStage("expand")
 	ex, idMap, err := reldb.ExpandAttributes(db, cfg.SkipExpand...)
 	if err != nil {
 		return nil, fmt.Errorf("core: attribute expansion: %w", err)
 	}
+	sp.End(ex.NumTuples())
 	expandDur := time.Since(t0)
 
 	t0 = time.Now()
+	sp = cfg.Obs.StartStage("enumerate")
 	paths := reldb.EnumerateJoinPaths(ex.Schema, cfg.RefRelation, reldb.EnumerateOptions{
 		MaxLen: cfg.MaxPathLen,
 		ExcludeFirst: []reldb.Step{
 			{Rel: cfg.RefRelation, Attr: cfg.RefAttr, Forward: true},
 		},
 	})
+	sp.End(len(paths))
 	enumDur := time.Since(t0)
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("core: no join paths from %s within length %d", cfg.RefRelation, cfg.MaxPathLen)
@@ -167,7 +180,10 @@ func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
 		idMap: idMap,
 		paths: paths,
 		ext:   sim.NewExtractor(ex, paths),
+		obs:   cfg.Obs,
 	}
+	e.ext.SetMetrics(cfg.Obs)
+	e.obs.Gauge("engine.paths").Set(float64(len(paths)))
 	e.timings.Expand = expandDur
 	e.timings.Enumerate = enumDur
 	e.SetUniformWeights()
@@ -261,13 +277,18 @@ func normalize(w []float64) []float64 {
 func (e *Engine) Train() (*TrainReport, error) {
 	total := time.Now()
 	t0 := time.Now()
+	sp := e.obs.StartStage("trainset")
 	ts, err := trainset.Build(e.db, e.cfg.RefRelation, e.cfg.RefAttr, e.cfg.Train)
 	if err != nil {
 		return nil, fmt.Errorf("core: training set: %w", err)
 	}
+	sp.End(len(ts.Pairs))
+	e.obs.Counter("trainset.positive").Add(int64(ts.NumPositive))
+	e.obs.Counter("trainset.negative").Add(int64(ts.NumNegative))
 	e.timings.TrainSet = time.Since(t0)
 
 	t0 = time.Now()
+	sp = e.obs.StartStage("features")
 	refs := make([]reldb.TupleID, 0, 2*len(ts.Pairs))
 	for _, p := range ts.Pairs {
 		refs = append(refs, p.R1, p.R2)
@@ -280,12 +301,14 @@ func (e *Engine) Train() (*TrainReport, error) {
 		resemEx[i] = svm.Example{X: e.ext.ResemVector(p.R1, p.R2), Y: p.Label}
 		walkEx[i] = svm.Example{X: e.ext.WalkVector(p.R1, p.R2), Y: p.Label}
 	})
+	sp.End(len(ts.Pairs))
 	e.timings.Features = time.Since(t0)
 
 	// Per-path similarities span orders of magnitude; scale each feature to
 	// [0,1] for training, then fold the scale factors back into the weights
 	// so they apply to raw similarities at clustering time.
 	t0 = time.Now()
+	sp = e.obs.StartStage("train_svm")
 	resemScaler := svm.FitScaler(resemEx)
 	walkScaler := svm.FitScaler(walkEx)
 	resemScaled := resemScaler.Transform(resemEx)
@@ -298,6 +321,7 @@ func (e *Engine) Train() (*TrainReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: walk SVM: %w", err)
 	}
+	sp.End(2 * len(ts.Pairs))
 	e.timings.TrainSVM = time.Since(t0)
 	e.timings.TotalTrain = time.Since(total)
 
@@ -312,6 +336,8 @@ func (e *Engine) Train() (*TrainReport, error) {
 		WalkWeights:   normalize(walkScaler.FoldWeights(walkModel.PositiveWeights())),
 		Timings:       e.timings,
 	}
+	e.obs.Gauge("svm.resem_accuracy").Set(rep.ResemAccuracy)
+	e.obs.Gauge("svm.walk_accuracy").Set(rep.WalkAccuracy)
 	if e.cfg.Supervised {
 		e.resemW = rep.ResemWeights
 		e.walkW = rep.WalkWeights
@@ -379,6 +405,8 @@ func (pm *PathMatrices) NumRefs() int {
 func (e *Engine) PathSimilarities(refs []reldb.TupleID) *PathMatrices {
 	n := len(refs)
 	np := len(e.paths)
+	sp := e.obs.StartStage("path_sims")
+	defer func() { sp.End(n * (n - 1) / 2) }()
 	pm := NewPathMatrices(np, n)
 	e.ext.Prefetch(refs, e.cfg.Workers)
 	nn := n * n
@@ -437,6 +465,8 @@ func Combine(pm *PathMatrices, resemW, walkW []float64) cluster.Matrix {
 // W[i][j] the weighted directed walk probability from i to j.
 func (e *Engine) Similarities(refs []reldb.TupleID) cluster.Matrix {
 	n := len(refs)
+	sp := e.obs.StartStage("similarities")
+	defer func() { sp.End(n * (n - 1) / 2) }()
 	m := cluster.NewMatrix(n)
 	e.ext.Prefetch(refs, e.cfg.Workers)
 	parallelFor(n, e.cfg.Workers, func(i int) {
@@ -498,6 +528,22 @@ func parallelFor(n, workers int, body func(i int)) {
 // under the supplied measure and threshold; refs[i] corresponds to row i.
 func ClusterMatrix(refs []reldb.TupleID, m cluster.Matrix, measure cluster.Measure, minSim float64) [][]reldb.TupleID {
 	idx := cluster.Agglomerate(len(refs), m, cluster.Options{Measure: measure, MinSim: minSim})
+	return groupRefs(refs, idx)
+}
+
+// clusterRefs is ClusterMatrix under the engine's own measure, threshold,
+// and observability registry, wrapped in a "cluster" stage span.
+func (e *Engine) clusterRefs(refs []reldb.TupleID, m cluster.Matrix) [][]reldb.TupleID {
+	sp := e.obs.StartStage("cluster")
+	idx := cluster.Agglomerate(len(refs), m, cluster.Options{
+		Measure: e.cfg.Measure, MinSim: e.cfg.MinSim, Obs: e.obs,
+	})
+	sp.End(len(refs))
+	return groupRefs(refs, idx)
+}
+
+// groupRefs maps clusters of row indexes back to reference IDs.
+func groupRefs(refs []reldb.TupleID, idx [][]int) [][]reldb.TupleID {
 	out := make([][]reldb.TupleID, len(idx))
 	for i, c := range idx {
 		out[i] = make([]reldb.TupleID, len(c))
@@ -520,7 +566,7 @@ func (e *Engine) DisambiguateRefs(refs []reldb.TupleID) [][]reldb.TupleID {
 	if e.cfg.MinSim > 0 {
 		return e.disambiguateBlocked(refs)
 	}
-	return ClusterMatrix(refs, e.Similarities(refs), e.cfg.Measure, e.cfg.MinSim)
+	return e.clusterRefs(refs, e.Similarities(refs))
 }
 
 // DisambiguateName clusters every reference carrying the name.

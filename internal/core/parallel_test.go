@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
@@ -67,6 +68,29 @@ func TestParallelFor(t *testing.T) {
 			}
 		}
 	}
-	// n = 0 must not hang or panic.
+	// n = 0 must not hang or panic, whatever the worker request.
 	parallelFor(0, 4, func(int) { t.Fatal("body called for n=0") })
+	parallelFor(0, 0, func(int) { t.Fatal("body called for n=0, workers=0") })
+}
+
+// TestParallelForMoreWorkersThanItems: requesting far more workers than
+// items must clamp to n (no idle goroutine may re-run or skip an index),
+// and every index still runs exactly once.
+func TestParallelForMoreWorkersThanItems(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		var calls atomic.Int64
+		perIndex := make([]atomic.Int32, n)
+		parallelFor(n, 64, func(i int) {
+			calls.Add(1)
+			perIndex[i].Add(1)
+		})
+		if got := calls.Load(); got != int64(n) {
+			t.Fatalf("n=%d workers=64: body ran %d times", n, got)
+		}
+		for i := range perIndex {
+			if c := perIndex[i].Load(); c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
+			}
+		}
+	}
 }

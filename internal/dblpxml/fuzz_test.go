@@ -1,0 +1,49 @@
+package dblpxml
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDBLPXML throws arbitrary bytes at the streaming XML loader. The loader
+// faces user-supplied multi-gigabyte dumps, so whatever the bytes are it must
+// either return an error or a database that the rest of the pipeline can use
+// — never panic. Successful loads are additionally pushed through Prune,
+// which walks every relation and so doubles as a consistency check.
+func FuzzDBLPXML(f *testing.F) {
+	// The well-formed sample exercised by the unit tests.
+	f.Add(sample)
+	// Charset handling: Latin-1 declared and raw high bytes.
+	f.Add("<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n<dblp>" +
+		"<inproceedings key=\"conf/x/A99\"><author>Jos\xe9 Garc\xeda</author>" +
+		"<title>T.</title><booktitle>X</booktitle><year>1999</year></inproceedings></dblp>")
+	f.Add(`<?xml version="1.0" encoding="shift-jis"?><dblp></dblp>`)
+	// Structural edge cases: empty doc, truncated element, duplicate keys,
+	// record with no venue, nested garbage.
+	f.Add(`<dblp></dblp>`)
+	f.Add(`<dblp><inproceedings key="k"><author>A`)
+	f.Add(`<dblp>` +
+		`<article key="j/x/1"><author>A</author><title>t</title><journal>J</journal><year>2001</year></article>` +
+		`<article key="j/x/1"><author>B</author><title>t</title><journal>J</journal><year>2001</year></article>` +
+		`</dblp>`)
+	f.Add(`<dblp><inproceedings key="k"><author>A</author><title>t</title></inproceedings></dblp>`)
+	f.Add(`<dblp><inproceedings key="k"><author>A<b>x</b>B</author><title>t</title><booktitle>V</booktitle><year>1</year></inproceedings></dblp>`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		db, stats, err := Load(strings.NewReader(data), Options{})
+		if err != nil {
+			return
+		}
+		if db == nil || stats == nil {
+			t.Fatal("Load returned nil database/stats without an error")
+		}
+		if stats.Refs != db.Relation("Publish").Size() {
+			t.Fatalf("stats.Refs=%d but Publish has %d tuples", stats.Refs, db.Relation("Publish").Size())
+		}
+		// Prune revisits every author and reference; a database Load built
+		// must survive it at any threshold.
+		if _, _, err := Prune(db, 2); err != nil {
+			t.Fatalf("Prune on loaded database: %v", err)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"distinct/internal/core"
 	"distinct/internal/dblp"
 	"distinct/internal/eval"
+	"distinct/internal/obs"
 	"distinct/internal/reldb"
 	"distinct/internal/trainset"
 )
@@ -44,6 +45,9 @@ type Options struct {
 	TrainPositive, TrainNegative int
 	// Seed drives training-set sampling.
 	Seed int64
+	// Obs, when non-nil, receives the engine's per-stage spans and
+	// pipeline counters (the -metrics / -obs flags of cmd/experiments).
+	Obs *obs.Registry
 }
 
 // DefaultMinSimGrid spans four orders of magnitude around the useful range.
@@ -113,6 +117,7 @@ func NewHarnessWorld(world *dblp.World, opts Options) (*Harness, error) {
 			Exclude:     world.AmbiguousNames(),
 			Seed:        opts.Seed,
 		},
+		Obs: opts.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building engine: %w", err)

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability HTTP handler:
+//
+//	/metrics           the registry snapshot as JSON
+//	/debug/vars        expvar-compatible dump: every expvar-published var
+//	                   (cmdline, memstats, ...) plus this registry under
+//	                   the "distinct" key
+//	/debug/pprof/...   the standard net/http/pprof profiles
+//
+// The handler is safe to mount on any mux and to call concurrently with
+// metric updates. It works on a nil registry (serving empty snapshots), so
+// a server can be started before deciding whether to record anything.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		// The registry itself, rendered like an expvar.Func would be.
+		// Snapshot only holds JSON-safe types, so encoding cannot fail.
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		b, _ := json.Marshal(r.Snapshot())
+		fmt.Fprintf(w, "%q: %s", "distinct", b)
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close immediately shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the observability endpoints on addr (e.g. "localhost:6060",
+// or ":0" for an ephemeral port) and returns the running server. Live runs
+// can then be inspected with e.g.
+//
+//	curl http://ADDR/metrics
+//	go tool pprof http://ADDR/debug/pprof/profile?seconds=10
+//
+// The server runs until Close; serving errors after Close are discarded.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: reg.Handler()}
+	go srv.Serve(lis)
+	return &Server{srv: srv, lis: lis}, nil
+}

@@ -32,36 +32,43 @@ func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 		}
 	}
 	e.mu.RUnlock()
+	e.prefetchRequested.Add(int64(len(refs)))
+	e.prefetchDeduped.Add(int64(len(refs) - len(todo)))
+	e.prefetchPropagated.Add(int64(len(todo)))
 	if len(todo) == 0 {
 		return
 	}
+	sp := e.obs.StartStage("prefetch")
+	defer func() { sp.End(len(todo)) }()
 	if workers > len(todo) {
 		workers = len(todo)
 	}
-	if workers == 1 {
-		for _, r := range todo {
-			e.Neighborhoods(r)
-		}
-		return
-	}
-
+	// The sequential path mirrors the worker pool (compute, then merge
+	// under the lock) so cache metrics are identical whatever the worker
+	// count: prefetched propagations never count as cache misses.
 	results := make([][]prop.SparseNeighborhood, len(todo))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = prop.PropagateMultiSparse(e.db, todo[i], e.trie)
-			}
-		}()
+	if workers == 1 {
+		for i, r := range todo {
+			results[i] = prop.PropagateMultiSparse(e.db, r, e.trie)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = prop.PropagateMultiSparse(e.db, todo[i], e.trie)
+				}
+			}()
+		}
+		for i := range todo {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	for i := range todo {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	e.mu.Lock()
 	for i, r := range todo {
 		if _, ok := e.cache[r]; !ok {

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sync"
 
+	"distinct/internal/obs"
 	"distinct/internal/prop"
 	"distinct/internal/reldb"
 )
@@ -253,6 +254,16 @@ type Extractor struct {
 
 	mu    sync.RWMutex
 	cache map[reldb.TupleID][]prop.SparseNeighborhood
+
+	// Metric handles resolved once by SetMetrics; nil handles (the
+	// default) make every update a no-op nil check, keeping the cache's
+	// hot path free of registry lookups.
+	obs                *obs.Registry
+	cacheHits          *obs.Counter
+	cacheMisses        *obs.Counter
+	prefetchRequested  *obs.Counter
+	prefetchDeduped    *obs.Counter
+	prefetchPropagated *obs.Counter
 }
 
 // NewExtractor creates an extractor over the given database and join paths.
@@ -269,6 +280,20 @@ func NewExtractor(db *reldb.Database, paths []reldb.JoinPath) *Extractor {
 // feature-vector order.
 func (e *Extractor) Paths() []reldb.JoinPath { return e.paths }
 
+// SetMetrics points the extractor at an observability registry (nil
+// disables, the default): sim.cache_hits / sim.cache_misses count
+// Neighborhoods lookups, sim.prefetch_requested / sim.prefetch_deduped /
+// sim.prefetch_propagated describe Prefetch batches, and the "prefetch"
+// stage records the propagation work itself.
+func (e *Extractor) SetMetrics(r *obs.Registry) {
+	e.obs = r
+	e.cacheHits = r.Counter("sim.cache_hits")
+	e.cacheMisses = r.Counter("sim.cache_misses")
+	e.prefetchRequested = r.Counter("sim.prefetch_requested")
+	e.prefetchDeduped = r.Counter("sim.prefetch_deduped")
+	e.prefetchPropagated = r.Counter("sim.prefetch_propagated")
+}
+
 // Neighborhoods returns the reference's neighborhood along every path,
 // computing and caching them on first use. All paths are walked in one
 // prefix-trie traversal (see prop.PropagateMulti) and finalised into
@@ -278,8 +303,10 @@ func (e *Extractor) Neighborhoods(r reldb.TupleID) []prop.SparseNeighborhood {
 	nbs, ok := e.cache[r]
 	e.mu.RUnlock()
 	if ok {
+		e.cacheHits.Inc()
 		return nbs
 	}
+	e.cacheMisses.Inc()
 	nbs = prop.PropagateMultiSparse(e.db, r, e.trie)
 	e.mu.Lock()
 	if prev, ok := e.cache[r]; ok {

@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# check.sh — the tier-1+ gate: build, vet, race-test the concurrency-bearing
-# packages (the extractor cache and the parallel pairwise stages), then run
-# the full test suite. Run before sending any PR.
+# check.sh — the tier-1+ gate: formatting, vet, build, the full test suite,
+# and a race-detector pass over every package (the extractor cache, the
+# parallel pairwise stages, and the obs registry are all concurrency-bearing,
+# and tests elsewhere drive them through the facade). Run before sending any
+# PR; CI runs exactly this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
-echo "== go test -race ./internal/sim/... ./internal/core/..."
-go test -race ./internal/sim/... ./internal/core/...
 echo "== go test ./..."
 go test ./...
+echo "== go test -race ./..."
+go test -race ./...
 echo "check.sh: all green"
