@@ -12,6 +12,7 @@ import (
 	"distinct/internal/dblp"
 	"distinct/internal/dblpxml"
 	"distinct/internal/obs"
+	"distinct/internal/obs/trace"
 	"distinct/internal/trainset"
 )
 
@@ -146,6 +147,51 @@ func BenchmarkDisambiguateAllMetrics(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.NamesExamined), "names")
 		b.ReportMetric(float64(len(res.Split)), "split")
+	}
+}
+
+// BenchmarkDisambiguateAllTrace is BenchmarkDisambiguateAll with a live
+// trace recording spans, merge events, and 1/64 sampled pair provenance —
+// the difference against the plain benchmark is the full tracing overhead.
+// A fresh trace per iteration keeps the span tree from growing across
+// iterations, which would make later iterations pay for earlier ones.
+func BenchmarkDisambiguateAllTrace(b *testing.B) {
+	cfg := dblp.DefaultConfig()
+	cfg.Communities = 6
+	cfg.AuthorsPerCommunity = 50
+	w, err := dblp.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewEngine(w.DB, core.Config{
+		RefRelation: dblp.ReferenceRelation,
+		RefAttr:     dblp.ReferenceAttr,
+		SkipExpand:  []string{dblp.TitleAttr},
+		Supervised:  true,
+		Train: trainset.Options{
+			NumPositive: 300, NumNegative: 300,
+			Exclude: w.AmbiguousNames(),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trace.New(trace.Options{SamplePairEvery: 64})
+		e.SetTrace(tr)
+		res, err := e.DisambiguateAll(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
+		spans, events := tr.Counts()
+		b.ReportMetric(float64(res.NamesExamined), "names")
+		b.ReportMetric(float64(spans), "spans")
+		b.ReportMetric(float64(events), "events")
 	}
 }
 

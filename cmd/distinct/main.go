@@ -11,14 +11,20 @@
 //	         [-measure combined|resemblance|walk] [-weights]
 //	         [-batch N]            disambiguate every name with >= N refs
 //	         [-tune]               auto-tune min-sim on rare-name pairs
+//	         [-mergeprofile]       print the merge profile of -name
 //	         [-savemodel model.json] [-loadmodel model.json]
 //	         [-metrics out.json]   dump the observability snapshot at exit
 //	         [-obs addr]           serve /metrics, /debug/vars, pprof live
+//	         [-trace out.json]     write a Chrome trace (chrome://tracing)
+//	         [-tracetree out.json] write the span tree for cmd/tracereport
+//	         [-tracesample N]      pair-provenance sampling period (default 64)
+//	         [-v]                  log progress to stderr (structured, span-stamped)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"distinct"
@@ -26,6 +32,7 @@ import (
 	"distinct/internal/dblp"
 	"distinct/internal/dblpxml"
 	"distinct/internal/linkage"
+	"distinct/internal/obs/trace"
 )
 
 func main() {
@@ -42,15 +49,28 @@ func main() {
 		seed         = flag.Int64("seed", 1, "training-set sampling seed")
 		batch        = flag.Int("batch", 0, "disambiguate every name with at least this many references")
 		tune         = flag.Bool("tune", false, "auto-tune min-sim on synthetic rare-name pairs")
-		trace        = flag.Bool("trace", false, "print the merge profile of -name (helps choose min-sim)")
+		mergeProfile = flag.Bool("mergeprofile", false, "print the merge profile of -name (helps choose min-sim)")
 		explain      = flag.Bool("explain", false, "explain the similarity of the first two references of -name")
 		dupNames     = flag.Int("dupnames", 0, "find the top-N differently written names that may denote one object (record linkage)")
 		saveModel    = flag.String("savemodel", "", "write the trained weights to this file")
 		loadModel    = flag.String("loadmodel", "", "load weights from this file instead of training")
 		metricsOut   = flag.String("metrics", "", "write the observability snapshot (JSON) to this file at exit")
 		obsAddr      = flag.String("obs", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+		traceOut     = flag.String("trace", "", "write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto) to this file at exit")
+		traceTree    = flag.String("tracetree", "", "write the run's span tree (JSON, input of cmd/tracereport) to this file at exit")
+		traceSample  = flag.Int("tracesample", 64, "with -trace/-tracetree: record an explanation for every Nth reference pair (0 disables pair provenance)")
+		verbose      = flag.Bool("v", false, "log progress to stderr (structured, span-stamped)")
 	)
 	flag.Parse()
+
+	// Progress goes through a structured logger, off by default; results
+	// stay on stdout. With -v each record carries the id of the trace span
+	// it belongs to (span=-1 when tracing is off).
+	var logW *os.File
+	if *verbose {
+		logW = os.Stderr
+	}
+	lg := trace.NewLogger(logW, slog.LevelInfo)
 
 	// Observability is opt-in: either flag creates the registry the whole
 	// pipeline reports into; neither means the nil no-cost registry.
@@ -72,7 +92,32 @@ func main() {
 				fmt.Fprintln(os.Stderr, "distinct: writing metrics:", err)
 				return
 			}
-			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+			lg.Info("metrics snapshot written", "path", *metricsOut)
+		}()
+	}
+
+	// Tracing is likewise opt-in; the trace's exports are written at exit,
+	// after the deferred root-span Finish.
+	var tr *distinct.Trace
+	if *traceOut != "" || *traceTree != "" {
+		tr = distinct.NewTrace(*traceSample)
+		lg = trace.WithSpan(lg, tr.Root())
+		defer func() {
+			tr.Finish()
+			if *traceOut != "" {
+				if err := tr.WriteChromeFile(*traceOut); err != nil {
+					fmt.Fprintln(os.Stderr, "distinct: writing trace:", err)
+				} else {
+					lg.Info("chrome trace written", "path", *traceOut)
+				}
+			}
+			if *traceTree != "" {
+				if err := tr.WriteFile(*traceTree); err != nil {
+					fmt.Fprintln(os.Stderr, "distinct: writing trace tree:", err)
+				} else {
+					lg.Info("trace tree written", "path", *traceTree)
+				}
+			}
 		}()
 	}
 
@@ -103,16 +148,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("loaded %s: %d records, %d authors, %d references (%d skipped)\n",
-			*xmlPath, stats.Records, stats.Authors, stats.Refs, stats.Skipped)
+		lg.Info("loaded DBLP XML", "path", *xmlPath, "records", stats.Records,
+			"authors", stats.Authors, "refs", stats.Refs, "skipped", stats.Skipped)
 		if *prune > 1 {
 			pruned, ps, err := dblpxml.Prune(loaded, *prune)
 			if err != nil {
 				fatal(err)
 			}
 			loaded = pruned
-			fmt.Printf("pruned authors with <%d refs: %d authors and %d references remain\n",
-				*prune, ps.AuthorsKept, ps.RefsKept)
+			lg.Info("pruned sparse authors", "min_refs", *prune,
+				"authors_kept", ps.AuthorsKept, "refs_kept", ps.RefsKept)
 		}
 		db = loaded
 	} else {
@@ -136,6 +181,7 @@ func main() {
 			Exclude: ambiguous, Seed: *seed,
 		},
 		Metrics: reg,
+		Trace:   tr,
 	})
 	if err != nil {
 		fatal(err)
@@ -155,14 +201,14 @@ func main() {
 		if err := eng.ApplyModel(m); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("loaded model from %s (%d paths)\n", *loadModel, len(m.Paths))
+		lg.Info("model loaded", "path", *loadModel, "paths", len(m.Paths))
 	case !*unsupervised:
 		rep, err := eng.Train()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("trained on %d+%d automatic examples from %d rare names in %v\n",
-			rep.NumPositive, rep.NumNegative, rep.NumRareNames, rep.Timings.TotalTrain)
+		lg.Info("trained", "positive", rep.NumPositive, "negative", rep.NumNegative,
+			"rare_names", rep.NumRareNames, "duration", rep.Timings.TotalTrain)
 	}
 	if *showWeights {
 		paths := eng.Paths()
@@ -187,7 +233,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("model written to %s\n", *saveModel)
+		lg.Info("model written", "path", *saveModel)
 	}
 	if *tune {
 		res, err := eng.TuneMinSim(nil, 50, *seed)
@@ -231,7 +277,7 @@ func main() {
 		return
 	}
 
-	if *trace {
+	if *mergeProfile {
 		refs := eng.Refs(*name)
 		fmt.Printf("\nmerge profile of %q (%d refs; merges in order, similarity and sizes):\n", *name, len(refs))
 		for i, st := range eng.MergeProfile(refs) {

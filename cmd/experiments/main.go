@@ -8,6 +8,7 @@
 //	            [-ablation] [-name "Wei Wang"] [-dot out.dot]
 //	            [-seed N] [-communities N] [-authors N] [-minsim X]
 //	            [-metrics out.json] [-obs addr]
+//	            [-trace out.json] [-tracetree out.json] [-tracesample N] [-v]
 //
 // With no experiment flags, -all is assumed.
 package main
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -23,6 +25,7 @@ import (
 	"distinct/internal/experiments"
 	"distinct/internal/music"
 	"distinct/internal/obs"
+	"distinct/internal/obs/trace"
 )
 
 func main() {
@@ -54,8 +57,21 @@ func main() {
 
 		metricsOut = flag.String("metrics", "", "write the observability snapshot (JSON) to this file at exit")
 		obsAddr    = flag.String("obs", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
+
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto) to this file at exit")
+		traceTree   = flag.String("tracetree", "", "write the run's span tree (JSON, input of cmd/tracereport) to this file at exit")
+		traceSample = flag.Int("tracesample", 64, "with -trace/-tracetree: record an explanation for every Nth reference pair (0 disables pair provenance)")
+		verbose     = flag.Bool("v", false, "log progress to stderr (structured, span-stamped)")
 	)
 	flag.Parse()
+
+	// Progress goes through a structured logger, off by default; the tables
+	// and figures stay on stdout.
+	var logW *os.File
+	if *verbose {
+		logW = os.Stderr
+	}
+	lg := trace.NewLogger(logW, slog.LevelInfo)
 
 	var reg *obs.Registry
 	if *metricsOut != "" || *obsAddr != "" {
@@ -75,7 +91,32 @@ func main() {
 				fmt.Fprintln(os.Stderr, "experiments: writing metrics:", err)
 				return
 			}
-			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+			lg.Info("metrics snapshot written", "path", *metricsOut)
+		}()
+	}
+
+	// Tracing is likewise opt-in; exports are written at exit, after the
+	// deferred root-span Finish.
+	var tr *trace.Trace
+	if *traceOut != "" || *traceTree != "" {
+		tr = trace.New(trace.Options{SamplePairEvery: *traceSample})
+		lg = trace.WithSpan(lg, tr.Root())
+		defer func() {
+			tr.Finish()
+			if *traceOut != "" {
+				if err := tr.WriteChromeFile(*traceOut); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: writing trace:", err)
+				} else {
+					lg.Info("chrome trace written", "path", *traceOut)
+				}
+			}
+			if *traceTree != "" {
+				if err := tr.WriteFile(*traceTree); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: writing trace tree:", err)
+				} else {
+					lg.Info("trace tree written", "path", *traceTree)
+				}
+			}
 		}()
 	}
 
@@ -99,18 +140,20 @@ func main() {
 	if *authors > 0 {
 		world.AuthorsPerCommunity = *authors
 	}
-	opts := experiments.Options{World: world, MinSim: *minSim, Seed: *seed, Obs: reg}
+	opts := experiments.Options{World: world, MinSim: *minSim, Seed: *seed, Obs: reg, Trace: tr}
 	if *trainN > 0 {
 		opts.TrainPositive, opts.TrainNegative = *trainN, *trainN
 	}
 
-	fmt.Println("generating world...")
+	lg.Info("generating world", "seed", *seed)
 	h, err := experiments.NewHarness(opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("world: %d identities, %d papers, %d references\n\n",
-		len(h.World.Identities), h.World.NumPapers(), h.World.NumReferences())
+	lg.Info("world generated",
+		"identities", len(h.World.Identities),
+		"papers", h.World.NumPapers(),
+		"references", h.World.NumReferences())
 
 	if *table1 {
 		fmt.Println("=== Table 1: names corresponding to multiple authors ===")

@@ -1,0 +1,67 @@
+// Command tracereport renders a human-readable run report from the span
+// tree that cmd/distinct or cmd/experiments wrote with -tracetree, and
+// optionally the metrics snapshot written with -metrics.
+//
+// Usage:
+//
+//	tracereport -trace tree.json [-metrics metrics.json] [-topk N]
+//
+// The report shows the span tree with durations, the slowest per-name
+// disambiguations, the merge timeline with cut statistics, and the trained
+// join-path weights. With -metrics it appends the counter, histogram
+// (p50/p95/p99) and stage tables of the observability snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"distinct/internal/obs"
+	"distinct/internal/obs/trace"
+)
+
+func main() {
+	var (
+		tracePath   = flag.String("trace", "", "span-tree JSON written by -tracetree (required)")
+		metricsPath = flag.String("metrics", "", "metrics snapshot JSON written by -metrics (optional)")
+		topK        = flag.Int("topk", 10, "number of slowest names to list")
+	)
+	flag.Parse()
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "tracereport: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := trace.ReadFileJSON(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteReport(os.Stdout, f, trace.ReportOptions{TopK: *topK}); err != nil {
+		fatal(err)
+	}
+
+	if *metricsPath != "" {
+		data, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *metricsPath, err))
+		}
+		fmt.Println()
+		fmt.Println("## Metrics")
+		fmt.Println()
+		if err := snap.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracereport:", err)
+	os.Exit(1)
+}

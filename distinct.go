@@ -7,6 +7,7 @@ import (
 	"distinct/internal/core"
 	"distinct/internal/eval"
 	"distinct/internal/obs"
+	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
 	"distinct/internal/svm"
 	"distinct/internal/trainset"
@@ -117,6 +118,12 @@ type Config struct {
 	// counters for every operation on the engine (see NewMetrics). Nil —
 	// the default — records nothing and costs nothing.
 	Metrics *Registry
+	// Trace, when non-nil, records decision-level provenance (see
+	// NewTrace): a span tree mirroring the pipeline stages, one event per
+	// clustering merge, learned path weights, and sampled pair
+	// explanations. Nil — the default — records nothing and costs one nil
+	// check per stage.
+	Trace *Trace
 }
 
 // Registry is the observability registry: named atomic counters, gauges,
@@ -127,6 +134,23 @@ type Registry = obs.Registry
 
 // NewMetrics returns an empty observability registry.
 func NewMetrics() *Registry { return obs.NewRegistry() }
+
+// Trace records a hierarchical trace of one run: a tree of timed spans (one
+// per pipeline stage, one per name in a batch sweep) with typed attributes,
+// plus structured events — one per clustering merge, one per learned path
+// weight, and optionally one per sampled reference pair. Hand one to
+// Config.Trace, run the engine, then export with Trace.WriteChromeJSON
+// (chrome://tracing / Perfetto), Trace.WriteJSON (self-describing tree, the
+// input of cmd/tracereport), or render it directly with trace.WriteReport.
+type Trace = trace.Trace
+
+// NewTrace returns an enabled trace. samplePairEvery > 0 additionally
+// records an Explain-style per-path breakdown for every Nth reference pair
+// in the similarity stage (deterministic striding, no RNG); 0 disables pair
+// sampling while keeping spans and merge events.
+func NewTrace(samplePairEvery int) *Trace {
+	return trace.New(trace.Options{SamplePairEvery: samplePairEvery})
+}
 
 // MetricsServer is a running observability HTTP server (see ServeMetrics).
 type MetricsServer = obs.Server
@@ -161,6 +185,7 @@ func Open(db *Database, cfg Config) (*Engine, error) {
 		SVM:         cfg.SVM,
 		Workers:     cfg.Workers,
 		Obs:         cfg.Metrics,
+		Trace:       cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"distinct/internal/obs"
+	"distinct/internal/obs/trace"
 )
 
 // PairSim supplies the base similarities between two references, identified
@@ -96,6 +97,13 @@ type Options struct {
 	// locally and post once per run, so instrumentation stays off the
 	// merge loop's hot path.
 	Obs *obs.Registry
+	// Span, when non-nil, receives decision-level provenance: one "merge"
+	// event per agglomeration step (cluster ids, sizes, and the composite
+	// similarity it happened at) and one final "cut" event carrying the
+	// stop statistics — merges, prunes, surviving clusters, the threshold,
+	// the last accepted similarity, the best similarity the threshold
+	// rejected, and the gap ratio between the two.
+	Span *trace.Span
 }
 
 // pairStats aggregates the base similarities between two clusters. All
@@ -168,7 +176,13 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 		return nil, nil
 	}
 	var merges, pruned int64 // posted to opts.Obs once per run
-	var trace []Merge
+	var mergeLog []Merge
+	// Stop statistics for the final "cut" event: the similarity of the last
+	// accepted merge and the best similarity MinSim rejected. Their ratio is
+	// the gap the threshold sits in — a large ratio means the cut landed in
+	// a crisp same-object/different-object boundary.
+	var lastMergeSim, bestRejected float64
+	span := opts.Span
 	clusters := make([]clusterState, n, 2*n)
 	for i := range clusters {
 		clusters[i] = clusterState{members: []int{i}, alive: true}
@@ -187,6 +201,9 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 				h = append(h, candidate{sim: s, a: i, b: j})
 			} else {
 				pruned++
+				if s > bestRejected {
+					bestRejected = s
+				}
 			}
 		}
 	}
@@ -200,13 +217,22 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 		// Cluster ids are never reused and a pair's stats never change while
 		// both clusters are alive, so the popped similarity is current.
 		merges++
+		lastMergeSim = c.sim
+		if span != nil {
+			span.Event("merge",
+				trace.Int("a", int64(c.a)), trace.Int("b", int64(c.b)),
+				trace.Int("new", int64(len(clusters))),
+				trace.Float("sim", c.sim),
+				trace.Int("size_a", int64(len(clusters[c.a].members))),
+				trace.Int("size_b", int64(len(clusters[c.b].members))))
+		}
 		clusters[c.a].alive = false
 		clusters[c.b].alive = false
 		nid := len(clusters)
 		merged := append(append([]int(nil), clusters[c.a].members...), clusters[c.b].members...)
 		clusters = append(clusters, clusterState{members: merged, alive: true})
 		if withTrace {
-			trace = append(trace, Merge{
+			mergeLog = append(mergeLog, Merge{
 				A:   append([]int(nil), clusters[c.a].members...),
 				B:   append([]int(nil), clusters[c.b].members...),
 				Sim: c.sim,
@@ -226,6 +252,9 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 				heap.Push(&h, candidate{sim: s, a: oid, b: nid})
 			} else {
 				pruned++
+				if s > bestRejected {
+					bestRejected = s
+				}
 			}
 		}
 		delete(stats, [2]int{c.a, c.b})
@@ -246,7 +275,24 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return out, trace
+
+	if span != nil {
+		// Gap ratio between the last accepted merge and the best rejected
+		// candidate; 0 when either side is missing (no merges, or nothing
+		// fell below the threshold).
+		gap := 0.0
+		if lastMergeSim > 0 && bestRejected > 0 {
+			gap = lastMergeSim / bestRejected
+		}
+		span.Event("cut",
+			trace.Int("merges", merges), trace.Int("pruned", pruned),
+			trace.Int("clusters", int64(len(out))),
+			trace.Float("min_sim", opts.MinSim),
+			trace.Float("last_merge_sim", lastMergeSim),
+			trace.Float("best_rejected_sim", bestRejected),
+			trace.Float("gap", gap))
+	}
+	return out, mergeLog
 }
 
 // orient returns the canonical (low, high) key for a cluster pair.

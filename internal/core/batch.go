@@ -9,6 +9,7 @@ import (
 
 	"distinct/internal/cluster"
 	"distinct/internal/eval"
+	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
 	"distinct/internal/trainset"
 )
@@ -63,23 +64,33 @@ func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
 		jobs = append(jobs, job{name: name, refs: refs})
 		allRefs = append(allRefs, refs...)
 	}
-	e.ext.Prefetch(allRefs, e.cfg.Workers)
+	e.ext.PrefetchSpan(allRefs, e.cfg.Workers, e.root())
 
 	sp := e.obs.StartStage("batch")
+	// One "batch" span with one child span per name. Per-name spans are
+	// created from worker goroutines, so their ids and sibling order are
+	// scheduling-dependent; each is uniquely named "name:<shared name>",
+	// which is what the golden trace test sorts on.
+	bsp := e.root().Start("batch", trace.Int("names", int64(len(jobs))))
 	// Per-name latency lands in a histogram; the clock reads are guarded so
 	// a disabled registry costs nothing per name.
 	latency := e.obs.Histogram("batch.name_seconds", nil)
 	results := make([][][]reldb.TupleID, len(jobs))
 	parallelFor(len(jobs), e.cfg.Workers, func(i int) {
+		nsp := bsp.Start(trace.NameSpanPrefix+jobs[i].name,
+			trace.Int("refs", int64(len(jobs[i].refs))))
 		if latency != nil {
 			t0 := time.Now()
-			results[i] = e.DisambiguateRefs(jobs[i].refs)
+			results[i] = e.disambiguateRefsAt(nsp, jobs[i].refs)
 			latency.ObserveDuration(time.Since(t0))
-			return
+		} else {
+			results[i] = e.disambiguateRefsAt(nsp, jobs[i].refs)
 		}
-		results[i] = e.DisambiguateRefs(jobs[i].refs)
+		nsp.SetAttrs(trace.Int("groups", int64(len(results[i]))))
+		nsp.End()
 	})
 	sp.End(len(jobs))
+	bsp.End()
 
 	res := &BatchResult{NamesExamined: len(jobs)}
 	for i, j := range jobs {

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
 )
 
@@ -48,9 +49,15 @@ func (u *unionFind) union(a, b int) {
 // resemblance or walk weight. Each block lists indexes into refs, blocks
 // ordered by smallest member, members ascending.
 func (e *Engine) blocks(refs []reldb.TupleID) [][]int {
+	return e.blocksAt(nil, refs)
+}
+
+// blocksAt is blocks with the stage span parented under parent.
+func (e *Engine) blocksAt(parent *trace.Span, refs []reldb.TupleID) [][]int {
 	sp := e.obs.StartStage("blocks")
+	tsp := parent.Start("blocks", trace.Int("refs", int64(len(refs))))
 	defer func() { sp.End(len(refs)) }()
-	e.ext.Prefetch(refs, e.cfg.Workers)
+	e.ext.PrefetchSpan(refs, e.cfg.Workers, tsp)
 	uf := newUnionFind(len(refs))
 	// Inverted index: (path, neighbor tuple) -> first reference seen with
 	// it; later references union with the first.
@@ -101,6 +108,8 @@ func (e *Engine) blocks(refs []reldb.TupleID) [][]int {
 		e.obs.Counter("blocks.pairs_kept").Add(kept)
 		e.obs.Counter("blocks.pairs_pruned").Add(naive - kept)
 	}
+	tsp.SetAttrs(trace.Int("blocks", int64(len(out))))
+	tsp.End()
 	return out
 }
 
@@ -108,7 +117,13 @@ func (e *Engine) blocks(refs []reldb.TupleID) [][]int {
 // MinSim > 0 (see the comment above). Output clusters are ordered by their
 // smallest reference position, matching the unblocked path bit for bit.
 func (e *Engine) disambiguateBlocked(refs []reldb.TupleID) [][]reldb.TupleID {
-	blocks := e.blocks(refs)
+	return e.disambiguateBlockedAt(nil, refs)
+}
+
+// disambiguateBlockedAt is disambiguateBlocked with stage spans parented
+// under parent.
+func (e *Engine) disambiguateBlockedAt(parent *trace.Span, refs []reldb.TupleID) [][]reldb.TupleID {
+	blocks := e.blocksAt(parent, refs)
 	pos := make(map[reldb.TupleID]int, len(refs))
 	for i, r := range refs {
 		if _, dup := pos[r]; !dup {
@@ -129,7 +144,7 @@ func (e *Engine) disambiguateBlocked(refs []reldb.TupleID) [][]reldb.TupleID {
 		if len(sub) == 1 {
 			clusters = [][]reldb.TupleID{sub}
 		} else {
-			clusters = e.clusterRefs(sub, e.Similarities(sub))
+			clusters = e.clusterRefsAt(parent, sub, e.similaritiesAt(parent, sub))
 		}
 		for _, c := range clusters {
 			all = append(all, ordered{at: pos[c[0]], cluster: c})

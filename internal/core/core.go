@@ -19,12 +19,14 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"distinct/internal/cluster"
 	"distinct/internal/obs"
+	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
 	"distinct/internal/sim"
 	"distinct/internal/svm"
@@ -77,6 +79,16 @@ type Config struct {
 	// disambiguation, and clustering. Nil (the default) costs nothing on
 	// any hot path; see internal/obs and DESIGN.md §8 for the taxonomy.
 	Obs *obs.Registry
+
+	// Trace, when non-nil, records decision-level provenance under the obs
+	// aggregates: every pipeline stage becomes a parented span in the
+	// trace's tree, the clusterer emits one event per merge and a final cut
+	// event, training emits one path_weight event per learned join-path
+	// weight, and — when the trace was built with SamplePairEvery — the
+	// similarity stage attaches Explain-style per-path breakdowns for a
+	// deterministic sample of reference pairs. Nil (the default) costs a
+	// nil check per stage; see internal/obs/trace and DESIGN.md §9.
+	Trace *trace.Trace
 }
 
 // DefaultMinSim is the default clustering threshold. It plays the role of
@@ -132,7 +144,18 @@ type Engine struct {
 
 	timings Timings
 	obs     *obs.Registry // nil when observability is off
+	tr      *trace.Trace  // nil when tracing is off
 }
+
+// root returns the trace's root span (nil when tracing is off), the default
+// parent for stage spans opened outside a batch sweep.
+func (e *Engine) root() *trace.Span { return e.tr.Root() }
+
+// SetTrace attaches (or, with nil, detaches) a trace after construction, so
+// a long-lived engine can record each batch run into its own trace. The
+// construction-time stages (expand, enumerate) belong to whatever trace was
+// set in Config at that point.
+func (e *Engine) SetTrace(tr *trace.Trace) { e.tr = tr }
 
 // NewEngine expands the database, enumerates join paths, and installs
 // uniform path weights (call Train to replace them with learned weights).
@@ -153,15 +176,19 @@ func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
 
 	t0 := time.Now()
 	sp := cfg.Obs.StartStage("expand")
+	tsp := cfg.Trace.Start("expand")
 	ex, idMap, err := reldb.ExpandAttributes(db, cfg.SkipExpand...)
 	if err != nil {
 		return nil, fmt.Errorf("core: attribute expansion: %w", err)
 	}
 	sp.End(ex.NumTuples())
+	tsp.SetAttrs(trace.Int("tuples", int64(ex.NumTuples())))
+	tsp.End()
 	expandDur := time.Since(t0)
 
 	t0 = time.Now()
 	sp = cfg.Obs.StartStage("enumerate")
+	tsp = cfg.Trace.Start("enumerate")
 	paths := reldb.EnumerateJoinPaths(ex.Schema, cfg.RefRelation, reldb.EnumerateOptions{
 		MaxLen: cfg.MaxPathLen,
 		ExcludeFirst: []reldb.Step{
@@ -169,6 +196,8 @@ func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
 		},
 	})
 	sp.End(len(paths))
+	tsp.SetAttrs(trace.Int("paths", int64(len(paths))))
+	tsp.End()
 	enumDur := time.Since(t0)
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("core: no join paths from %s within length %d", cfg.RefRelation, cfg.MaxPathLen)
@@ -181,6 +210,7 @@ func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
 		paths: paths,
 		ext:   sim.NewExtractor(ex, paths),
 		obs:   cfg.Obs,
+		tr:    cfg.Trace,
 	}
 	e.ext.SetMetrics(cfg.Obs)
 	e.obs.Gauge("engine.paths").Set(float64(len(paths)))
@@ -278,22 +308,29 @@ func (e *Engine) Train() (*TrainReport, error) {
 	total := time.Now()
 	t0 := time.Now()
 	sp := e.obs.StartStage("trainset")
+	tsp := e.root().Start("trainset")
 	ts, err := trainset.Build(e.db, e.cfg.RefRelation, e.cfg.RefAttr, e.cfg.Train)
 	if err != nil {
 		return nil, fmt.Errorf("core: training set: %w", err)
 	}
 	sp.End(len(ts.Pairs))
+	tsp.SetAttrs(
+		trace.Int("pairs", int64(len(ts.Pairs))),
+		trace.Int("positive", int64(ts.NumPositive)),
+		trace.Int("negative", int64(ts.NumNegative)))
+	tsp.End()
 	e.obs.Counter("trainset.positive").Add(int64(ts.NumPositive))
 	e.obs.Counter("trainset.negative").Add(int64(ts.NumNegative))
 	e.timings.TrainSet = time.Since(t0)
 
 	t0 = time.Now()
 	sp = e.obs.StartStage("features")
+	tsp = e.root().Start("features", trace.Int("pairs", int64(len(ts.Pairs))))
 	refs := make([]reldb.TupleID, 0, 2*len(ts.Pairs))
 	for _, p := range ts.Pairs {
 		refs = append(refs, p.R1, p.R2)
 	}
-	e.ext.Prefetch(refs, e.cfg.Workers)
+	e.ext.PrefetchSpan(refs, e.cfg.Workers, tsp)
 	resemEx := make([]svm.Example, len(ts.Pairs))
 	walkEx := make([]svm.Example, len(ts.Pairs))
 	parallelFor(len(ts.Pairs), e.cfg.Workers, func(i int) {
@@ -302,6 +339,7 @@ func (e *Engine) Train() (*TrainReport, error) {
 		walkEx[i] = svm.Example{X: e.ext.WalkVector(p.R1, p.R2), Y: p.Label}
 	})
 	sp.End(len(ts.Pairs))
+	tsp.End()
 	e.timings.Features = time.Since(t0)
 
 	// Per-path similarities span orders of magnitude; scale each feature to
@@ -309,6 +347,7 @@ func (e *Engine) Train() (*TrainReport, error) {
 	// so they apply to raw similarities at clustering time.
 	t0 = time.Now()
 	sp = e.obs.StartStage("train_svm")
+	tsp = e.root().Start("train_svm", trace.Int("paths", int64(len(e.paths))))
 	resemScaler := svm.FitScaler(resemEx)
 	walkScaler := svm.FitScaler(walkEx)
 	resemScaled := resemScaler.Transform(resemEx)
@@ -338,6 +377,21 @@ func (e *Engine) Train() (*TrainReport, error) {
 	}
 	e.obs.Gauge("svm.resem_accuracy").Set(rep.ResemAccuracy)
 	e.obs.Gauge("svm.walk_accuracy").Set(rep.WalkAccuracy)
+	if tsp != nil {
+		// One event per learned path weight; the run report renders these
+		// as the join-path weight table.
+		for p := range e.paths {
+			tsp.Event("path_weight",
+				trace.String("path", e.paths[p].String()),
+				trace.Float("resem_w", rep.ResemWeights[p]),
+				trace.Float("walk_w", rep.WalkWeights[p]))
+		}
+		tsp.SetAttrs(
+			trace.Float("resem_accuracy", rep.ResemAccuracy),
+			trace.Float("walk_accuracy", rep.WalkAccuracy),
+			trace.Bool("supervised", e.cfg.Supervised))
+	}
+	tsp.End()
 	if e.cfg.Supervised {
 		e.resemW = rep.ResemWeights
 		e.walkW = rep.WalkWeights
@@ -403,12 +457,20 @@ func (pm *PathMatrices) NumRefs() int {
 // under Config.Workers. For each (i,j) pair one fused merge-scan per path
 // yields the resemblance and both directed walk probabilities at once.
 func (e *Engine) PathSimilarities(refs []reldb.TupleID) *PathMatrices {
+	return e.pathSimilaritiesAt(e.root(), refs)
+}
+
+// pathSimilaritiesAt is PathSimilarities with the stage span parented under
+// parent (nil parent: tracing off or disabled for this call).
+func (e *Engine) pathSimilaritiesAt(parent *trace.Span, refs []reldb.TupleID) *PathMatrices {
 	n := len(refs)
 	np := len(e.paths)
 	sp := e.obs.StartStage("path_sims")
-	defer func() { sp.End(n * (n - 1) / 2) }()
+	tsp := parent.Start("path_sims",
+		trace.Int("refs", int64(n)), trace.Int("pairs", int64(n*(n-1)/2)))
+	defer func() { sp.End(n * (n - 1) / 2); tsp.End() }()
 	pm := NewPathMatrices(np, n)
-	e.ext.Prefetch(refs, e.cfg.Workers)
+	e.ext.PrefetchSpan(refs, e.cfg.Workers, tsp)
 	nn := n * n
 	// Row i fills entries (i,j) and (j,i) for j > i: every matrix cell is
 	// written by exactly one row worker, so rows can run concurrently.
@@ -464,16 +526,40 @@ func Combine(pm *PathMatrices, resemW, walkW []float64) cluster.Matrix {
 // the engine's current weights: R[i][j] is the weighted set resemblance,
 // W[i][j] the weighted directed walk probability from i to j.
 func (e *Engine) Similarities(refs []reldb.TupleID) cluster.Matrix {
+	return e.similaritiesAt(e.root(), refs)
+}
+
+// similaritiesAt is Similarities with the stage span parented under parent.
+// When the trace was built with SamplePairEvery, every Nth pair (by
+// triangular pair index — deterministic, no RNG) gets a "pair" event with
+// its Explain-style per-path breakdown attached to the stage span.
+func (e *Engine) similaritiesAt(parent *trace.Span, refs []reldb.TupleID) cluster.Matrix {
 	n := len(refs)
 	sp := e.obs.StartStage("similarities")
-	defer func() { sp.End(n * (n - 1) / 2) }()
+	tsp := parent.Start("similarities",
+		trace.Int("refs", int64(n)), trace.Int("pairs", int64(n*(n-1)/2)))
+	defer func() { sp.End(n * (n - 1) / 2); tsp.End() }()
 	m := cluster.NewMatrix(n)
-	e.ext.Prefetch(refs, e.cfg.Workers)
+	e.ext.PrefetchSpan(refs, e.cfg.Workers, tsp)
+
+	sampleEvery := 0
+	if tsp != nil {
+		sampleEvery = e.tr.SamplePairEvery()
+	}
+	var sampleMu sync.Mutex
+	var sampled []trace.Event
+
 	parallelFor(n, e.cfg.Workers, func(i int) {
 		ni := e.ext.Neighborhoods(refs[i])
+		// rowBase is the triangular index of pair (i, i+1); pair (i, j) has
+		// index rowBase + (j - i - 1). The index is a pure function of
+		// (i, j, n), so the sample is identical whatever the worker count.
+		rowBase := i*n - i*(i+1)/2
 		for j := i + 1; j < n; j++ {
 			nj := e.ext.Neighborhoods(refs[j])
 			var r, wij, wji float64
+			sampleThis := sampleEvery > 0 && (rowBase+j-i-1)%sampleEvery == 0
+			var breakdown []byte
 			for p := range e.paths {
 				rw, ww := e.resemW[p], e.walkW[p]
 				if rw == 0 && ww == 0 {
@@ -483,11 +569,43 @@ func (e *Engine) Similarities(refs []reldb.TupleID) cluster.Matrix {
 				r += rw * pr
 				wij += ww * pij
 				wji += ww * pji
+				if sampleThis && (pr != 0 || pij != 0 || pji != 0) {
+					if len(breakdown) > 0 {
+						breakdown = append(breakdown, " | "...)
+					}
+					breakdown = fmt.Appendf(breakdown, "%s: resem=%g walk=%g",
+						e.paths[p].String(), rw*pr, ww*(pij+pji)/2)
+				}
 			}
 			m.R[i][j], m.R[j][i] = r, r
 			m.W[i][j], m.W[j][i] = wij, wji
+			if sampleThis {
+				ev := trace.Event{Name: "pair", Attrs: []trace.Attr{
+					trace.Int("i", int64(i)), trace.Int("j", int64(j)),
+					trace.Int("ref_i", int64(refs[i])), trace.Int("ref_j", int64(refs[j])),
+					trace.Float("resem", r),
+					trace.Float("walk_ij", wij), trace.Float("walk_ji", wji),
+					trace.String("paths", string(breakdown)),
+				}}
+				sampleMu.Lock()
+				sampled = append(sampled, ev)
+				sampleMu.Unlock()
+			}
 		}
 	})
+	if len(sampled) > 0 {
+		// Workers append in nondeterministic order; sort by (i, j) so the
+		// attached provenance is reproducible run to run.
+		sort.Slice(sampled, func(a, b int) bool {
+			ia, ja := sampled[a].Attrs[0].Value().(int64), sampled[a].Attrs[1].Value().(int64)
+			ib, jb := sampled[b].Attrs[0].Value().(int64), sampled[b].Attrs[1].Value().(int64)
+			if ia != ib {
+				return ia < ib
+			}
+			return ja < jb
+		})
+		tsp.EventAll(sampled)
+	}
 	return m
 }
 
@@ -534,11 +652,20 @@ func ClusterMatrix(refs []reldb.TupleID, m cluster.Matrix, measure cluster.Measu
 // clusterRefs is ClusterMatrix under the engine's own measure, threshold,
 // and observability registry, wrapped in a "cluster" stage span.
 func (e *Engine) clusterRefs(refs []reldb.TupleID, m cluster.Matrix) [][]reldb.TupleID {
+	return e.clusterRefsAt(e.root(), refs, m)
+}
+
+// clusterRefsAt is clusterRefs with the stage span parented under parent;
+// the clusterer receives the span and emits its merge and cut events there.
+func (e *Engine) clusterRefsAt(parent *trace.Span, refs []reldb.TupleID, m cluster.Matrix) [][]reldb.TupleID {
 	sp := e.obs.StartStage("cluster")
+	tsp := parent.Start("cluster", trace.Int("refs", int64(len(refs))))
 	idx := cluster.Agglomerate(len(refs), m, cluster.Options{
-		Measure: e.cfg.Measure, MinSim: e.cfg.MinSim, Obs: e.obs,
+		Measure: e.cfg.Measure, MinSim: e.cfg.MinSim, Obs: e.obs, Span: tsp,
 	})
 	sp.End(len(refs))
+	tsp.SetAttrs(trace.Int("clusters", int64(len(idx))))
+	tsp.End()
 	return groupRefs(refs, idx)
 }
 
@@ -557,6 +684,12 @@ func groupRefs(refs []reldb.TupleID, idx [][]int) [][]reldb.TupleID {
 // DisambiguateRefs clusters the given references (expanded-database IDs)
 // and returns groups of reference IDs, one group per inferred real object.
 func (e *Engine) DisambiguateRefs(refs []reldb.TupleID) [][]reldb.TupleID {
+	return e.disambiguateRefsAt(e.root(), refs)
+}
+
+// disambiguateRefsAt is DisambiguateRefs with all stage spans parented
+// under parent (a per-name span during batch sweeps, the root otherwise).
+func (e *Engine) disambiguateRefsAt(parent *trace.Span, refs []reldb.TupleID) [][]reldb.TupleID {
 	if len(refs) == 0 {
 		return nil
 	}
@@ -564,9 +697,9 @@ func (e *Engine) DisambiguateRefs(refs []reldb.TupleID) [][]reldb.TupleID {
 	// components can never merge, so clustering per component is exact and
 	// avoids the quadratic pairwise stage across components.
 	if e.cfg.MinSim > 0 {
-		return e.disambiguateBlocked(refs)
+		return e.disambiguateBlockedAt(parent, refs)
 	}
-	return e.clusterRefs(refs, e.Similarities(refs))
+	return e.clusterRefsAt(parent, refs, e.similaritiesAt(parent, refs))
 }
 
 // DisambiguateName clusters every reference carrying the name.

@@ -23,6 +23,7 @@ import (
 	"distinct/internal/dblp"
 	"distinct/internal/eval"
 	"distinct/internal/obs"
+	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
 	"distinct/internal/trainset"
 )
@@ -48,6 +49,9 @@ type Options struct {
 	// Obs, when non-nil, receives the engine's per-stage spans and
 	// pipeline counters (the -metrics / -obs flags of cmd/experiments).
 	Obs *obs.Registry
+	// Trace, when non-nil, records the engine's span tree and decision
+	// events (the -trace / -tracetree flags of cmd/experiments).
+	Trace *trace.Trace
 }
 
 // DefaultMinSimGrid spans four orders of magnitude around the useful range.
@@ -117,7 +121,8 @@ func NewHarnessWorld(world *dblp.World, opts Options) (*Harness, error) {
 			Exclude:     world.AmbiguousNames(),
 			Seed:        opts.Seed,
 		},
-		Obs: opts.Obs,
+		Obs:   opts.Obs,
+		Trace: opts.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building engine: %w", err)

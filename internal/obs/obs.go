@@ -18,6 +18,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"os"
@@ -295,6 +296,53 @@ type HistogramSnapshot struct {
 	Counts []int64 `json:"counts"`
 	Count  int64   `json:"count"`
 	Sum    float64 `json:"sum"`
+	// P50/P95/P99 are quantile estimates interpolated from the bucket
+	// counts (see Quantile). Zero when the histogram is empty.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
+// interpolating linearly within the bucket that holds the target rank — the
+// same estimate Prometheus's histogram_quantile computes. The first bucket
+// interpolates from zero; ranks landing in the overflow bucket clamp to the
+// last bound, as the histogram does not know how far past it values went.
+// Returns 0 for an empty histogram.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count <= 0 || len(hs.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	var cum float64
+	for i, c := range hs.Counts {
+		if i >= len(hs.Bounds) {
+			return hs.Bounds[len(hs.Bounds)-1]
+		}
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = hs.Bounds[i-1]
+			}
+			upper := hs.Bounds[i]
+			return lower + (upper-lower)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return hs.Bounds[len(hs.Bounds)-1]
+}
+
+// fillQuantiles stamps the snapshot's P50/P95/P99 estimates.
+func (hs *HistogramSnapshot) fillQuantiles() {
+	hs.P50 = hs.Quantile(0.50)
+	hs.P95 = hs.Quantile(0.95)
+	hs.P99 = hs.Quantile(0.99)
 }
 
 // StageSnapshot is the serialized state of one pipeline stage.
@@ -349,6 +397,7 @@ func (r *Registry) Snapshot() Snapshot {
 			for i := range h.counts {
 				hs.Counts[i] = h.counts[i].Load()
 			}
+			hs.fillQuantiles()
 			snap.Histograms[name] = hs
 		}
 	}
@@ -397,4 +446,44 @@ func (r *Registry) WriteFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteText renders the snapshot as a compact human-readable listing:
+// counters and gauges one per line, histograms with count/sum and the
+// p50/p95/p99 estimates, stages with wall time and items. Keys print in
+// sorted order, so output diffs cleanly between runs.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		pr("counter %-40s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pr("gauge   %-40s %g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pr("hist    %-40s count=%d sum=%.6g p50=%.3g p95=%.3g p99=%.3g\n",
+			name, h.Count, h.Sum, h.P50, h.P95, h.P99)
+	}
+	for _, name := range s.StageNames() {
+		st := s.Stages[name]
+		pr("stage   %-40s count=%d wall=%s items=%d allocs=%d bytes=%d\n",
+			name, st.Count, time.Duration(st.WallNs), st.Items, st.Allocs, st.Bytes)
+	}
+	return err
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns the observability HTTP handler:
@@ -65,8 +67,32 @@ type Server struct {
 // Addr returns the server's bound address (useful with ":0").
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close immediately shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// shutdownTimeout bounds how long Close waits for in-flight requests (a
+// pprof profile capture can legitimately take seconds) before cutting
+// connections.
+const shutdownTimeout = 5 * time.Second
+
+// Shutdown gracefully shuts the server down: the listener closes at once so
+// no new requests land, and in-flight requests run to completion until ctx
+// expires, at which point remaining connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Context expired with requests still in flight; cut them loose.
+		if cerr := s.srv.Close(); cerr != nil && err == context.DeadlineExceeded {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Close gracefully shuts the server down, waiting up to shutdownTimeout for
+// in-flight requests (a /debug/pprof capture, a /metrics scrape) to finish.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
 
 // Serve starts the observability endpoints on addr (e.g. "localhost:6060",
 // or ":0" for an ephemeral port) and returns the running server. Live runs

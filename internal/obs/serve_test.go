@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func getBody(t *testing.T, url string) []byte {
@@ -94,6 +95,64 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Errorf("close: %v", err)
+	}
+}
+
+// TestCloseDrainsInFlightRequests is the regression test for the graceful
+// shutdown: a request in flight when Close is called must complete instead
+// of being cut off, and Close must block until it has.
+func TestCloseDrainsInFlightRequests(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A naturally slow request: the execution tracer streams for a full
+	// second before the handler returns.
+	type result struct {
+		body []byte
+		code int
+		err  error
+	}
+	started := make(chan struct{})
+	done := make(chan result, 1)
+	go func() {
+		close(started)
+		resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/trace?seconds=1")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		done <- result{body: b, code: resp.StatusCode, err: err}
+	}()
+	<-started
+	time.Sleep(100 * time.Millisecond) // let the request reach the handler
+
+	closeStart := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	closeDur := time.Since(closeStart)
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", res.err)
+	}
+	if res.code != http.StatusOK {
+		t.Errorf("in-flight request status = %d", res.code)
+	}
+	if len(res.body) == 0 {
+		t.Error("in-flight request body is empty")
+	}
+	// Close must have waited for the ~900ms the tracer still had to run.
+	if closeDur < 500*time.Millisecond {
+		t.Errorf("Close returned after %v; did not drain the in-flight request", closeDur)
+	}
+
+	// After shutdown the listener no longer accepts connections.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still accepting requests after Close")
 	}
 }
 

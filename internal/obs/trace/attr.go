@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"math"
+	"strconv"
+)
+
+// Kind discriminates an Attr's value type.
+type Kind uint8
+
+const (
+	KindString Kind = iota
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// Attr is one typed key-value attribute of a span or event. Attrs are
+// plain values (no interfaces, no pointers beyond the strings), so building
+// them on a disabled trace allocates nothing.
+type Attr struct {
+	Key  string
+	kind Kind
+	str  string
+	num  uint64 // int64, float64 bits, or 0/1 for bool
+}
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, kind: KindString, str: v} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: KindInt, num: uint64(v)} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, kind: KindFloat, num: math.Float64bits(v)}
+}
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, kind: KindBool}
+	if v {
+		a.num = 1
+	}
+	return a
+}
+
+// Kind returns the attribute's value kind.
+func (a Attr) Kind() Kind { return a.kind }
+
+// Value returns the attribute's value as string, int64, float64, or bool —
+// the JSON-safe dynamic form used by the exporters.
+func (a Attr) Value() any {
+	switch a.kind {
+	case KindInt:
+		return int64(a.num)
+	case KindFloat:
+		return math.Float64frombits(a.num)
+	case KindBool:
+		return a.num != 0
+	default:
+		return a.str
+	}
+}
+
+// FormatValue renders the value deterministically: integers in decimal,
+// floats with strconv's shortest round-trip form, bools as true/false.
+func (a Attr) FormatValue() string {
+	switch a.kind {
+	case KindInt:
+		return strconv.FormatInt(int64(a.num), 10)
+	case KindFloat:
+		return strconv.FormatFloat(math.Float64frombits(a.num), 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(a.num != 0)
+	default:
+		return a.str
+	}
+}
+
+// String renders the attribute as key=value.
+func (a Attr) String() string { return a.Key + "=" + a.FormatValue() }
+
+// attrMap converts an attr list to the dynamic map the JSON exporters use.
+// Keys are unique per span/event by construction; later duplicates win.
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}

@@ -1,0 +1,57 @@
+package trace
+
+import "testing"
+
+// The nil fast path is the acceptance bar: a disabled trace must cost a nil
+// check and zero allocations at every instrumentation point, so tracing can
+// stay wired into the hot pipeline unconditionally.
+
+func BenchmarkNilSpanStartEnd(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("stage", Int("n", int64(i)))
+		sp.End()
+	}
+}
+
+func BenchmarkNilSpanEvent(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Event("merge", Int("a", 0), Int("b", 1), Float("sim", 0.5))
+	}
+}
+
+func BenchmarkNilSamplePairEvery(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += tr.SamplePairEvery()
+	}
+	if n != 0 {
+		b.Fatal("nil sampling nonzero")
+	}
+}
+
+func BenchmarkEnabledSpanStartEnd(b *testing.B) {
+	tr := New(Options{})
+	root := tr.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.Start("stage", Int("n", int64(i)))
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledSpanEvent(b *testing.B) {
+	tr := New(Options{})
+	sp := tr.Start("cluster")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Event("merge", Int("a", 0), Int("b", 1), Float("sim", 0.5))
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event export: the span tree flattened into "X" (complete)
+// events and per-span instants ("i"), loadable in chrome://tracing and
+// Perfetto. Timestamps are microseconds since trace start.
+//
+// The viewer nests "X" events on one tid by interval containment, so spans
+// that overlap in time (the per-name spans of a parallel batch sweep) must
+// land on different tids. assignLanes colors the tree greedily: a child
+// shares its parent's lane while it fits after the previous sibling placed
+// there; overlapping siblings take the first globally free lane, and a
+// subtree rooted on a lane reserves that lane for its whole interval. The
+// result is one "thread" per concurrency lane, which is exactly how the
+// run executed.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// assignLanes maps span id -> tid so spans sharing a tid are nested or
+// disjoint. Children are placed in start-time order (stable on ties, so
+// the assignment is deterministic given the tree).
+func assignLanes(root *SpanNode) map[int]int {
+	tids := make(map[int]int)
+	laneBusy := []int64{root.StartNs + root.DurNs} // lane 0 held by the root subtree
+	var place func(s *SpanNode, lane int)
+	place = func(s *SpanNode, lane int) {
+		tids[s.ID] = lane
+		children := append([]*SpanNode(nil), s.Children...)
+		sort.SliceStable(children, func(i, j int) bool {
+			return children[i].StartNs < children[j].StartNs
+		})
+		last := int64(-1 << 62)
+		for _, c := range children {
+			if c.StartNs >= last {
+				// Fits after the previous sibling on the parent's lane.
+				last = c.StartNs + c.DurNs
+				place(c, lane)
+				continue
+			}
+			// Overlaps: take the first free lane and reserve it for the
+			// whole subtree interval.
+			l := 0
+			for ; l < len(laneBusy); l++ {
+				if laneBusy[l] <= c.StartNs {
+					break
+				}
+			}
+			if l == len(laneBusy) {
+				laneBusy = append(laneBusy, 0)
+			}
+			laneBusy[l] = c.StartNs + c.DurNs
+			place(c, l)
+		}
+	}
+	place(root, 0)
+	return tids
+}
+
+// ChromeEvents flattens the trace into Chrome trace-event form. Works on a
+// nil trace (empty slice).
+func (t *Trace) chromeEvents() []chromeEvent {
+	root := t.Tree()
+	if root == nil {
+		return nil
+	}
+	tids := assignLanes(root)
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	events := []chromeEvent{{
+		Name: "process_name", Cat: "__metadata", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "distinct"},
+	}}
+	var walk func(s *SpanNode)
+	walk = func(s *SpanNode) {
+		tid := tids[s.ID]
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: "span", Ph: "X",
+			Ts: us(s.StartNs), Dur: us(s.DurNs),
+			Pid: 1, Tid: tid, Args: s.Attrs,
+		})
+		for _, ev := range s.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Name, Cat: "event", Ph: "i",
+				Ts: us(ev.TNs), Pid: 1, Tid: tid, Scope: "t",
+				Args: ev.Attrs,
+			})
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return events
+}
+
+// WriteChromeJSON writes the trace in Chrome trace-event JSON (the object
+// form, {"traceEvents": [...]}), loadable in chrome://tracing / Perfetto.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	f := chromeFile{TraceEvents: t.chromeEvents(), DisplayTimeUnit: "ms"}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// WriteChromeFile dumps the Chrome trace to path (the -trace flag of the
+// CLIs).
+func (t *Trace) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTree hand-assembles a SpanNode tree for lane tests without depending
+// on wall-clock timing.
+func node(id int, name string, start, dur int64, children ...*SpanNode) *SpanNode {
+	return &SpanNode{ID: id, Name: name, StartNs: start, DurNs: dur, Children: children}
+}
+
+func TestAssignLanesSequentialSharesParentLane(t *testing.T) {
+	root := node(0, "run", 0, 100,
+		node(1, "expand", 0, 10),
+		node(2, "enumerate", 10, 20),
+		node(3, "cluster", 30, 40),
+	)
+	tids := assignLanes(root)
+	for id := 0; id <= 3; id++ {
+		if tids[id] != 0 {
+			t.Errorf("span %d on lane %d, want 0", id, tids[id])
+		}
+	}
+}
+
+func TestAssignLanesOverlappingSiblingsSplit(t *testing.T) {
+	// Three per-name spans overlapping in time, as a parallel batch sweep
+	// produces, plus a fourth that starts after the first two finished.
+	root := node(0, "run", 0, 100,
+		node(1, "batch", 0, 100,
+			node(2, "name:A", 0, 50),
+			node(3, "name:B", 10, 50),
+			node(4, "name:C", 20, 50),
+			node(5, "name:D", 61, 30),
+		),
+	)
+	tids := assignLanes(root)
+	if tids[1] != 0 || tids[2] != 0 {
+		t.Errorf("batch=%d first child=%d, want both on lane 0", tids[1], tids[2])
+	}
+	if tids[3] == 0 || tids[4] == 0 || tids[3] == tids[4] {
+		t.Errorf("overlapping names share lanes: B=%d C=%d", tids[3], tids[4])
+	}
+	// name:D starts after name:B's lane freed at t=60, so it may reuse it —
+	// the invariant is only that spans on one lane never overlap.
+	byLane := map[int][]*SpanNode{}
+	var walk func(s *SpanNode)
+	walk = func(s *SpanNode) {
+		byLane[tids[s.ID]] = append(byLane[tids[s.ID]], s)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for lane, spans := range byLane {
+		for i, a := range spans {
+			for _, b := range spans[i+1:] {
+				aContainsB := a.StartNs <= b.StartNs && b.StartNs+b.DurNs <= a.StartNs+a.DurNs
+				bContainsA := b.StartNs <= a.StartNs && a.StartNs+a.DurNs <= b.StartNs+b.DurNs
+				disjoint := a.StartNs+a.DurNs <= b.StartNs || b.StartNs+b.DurNs <= a.StartNs
+				if !aContainsB && !bContainsA && !disjoint {
+					t.Errorf("lane %d: spans %d and %d partially overlap", lane, a.ID, b.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestChromeJSONStructure(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.Start("cluster", Int("refs", 5))
+	sp.Event("merge", Int("a", 0), Int("b", 1), Int("new", 5), Float("sim", 0.5))
+	sp.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Ph    string         `json:"ph"`
+			Ts    *float64       `json:"ts"`
+			Pid   *int           `json:"pid"`
+			Tid   *int           `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var phases []string
+	var sawMerge bool
+	for _, ev := range f.TraceEvents {
+		phases = append(phases, ev.Ph)
+		if ev.Ph != "M" && (ev.Ts == nil || ev.Pid == nil || ev.Tid == nil) {
+			t.Errorf("event %q misses ts/pid/tid", ev.Name)
+		}
+		if ev.Ph == "i" {
+			if ev.Scope != "t" {
+				t.Errorf("instant %q scope = %q, want t", ev.Name, ev.Scope)
+			}
+			if ev.Name == "merge" {
+				sawMerge = true
+				for _, k := range []string{"a", "b", "new", "sim"} {
+					if _, ok := ev.Args[k]; !ok {
+						t.Errorf("merge event misses arg %q", k)
+					}
+				}
+			}
+		}
+	}
+	want := "M X X i" // metadata, root span, cluster span, merge instant
+	if got := strings.Join(phases, " "); got != want {
+		t.Errorf("phases = %q, want %q", got, want)
+	}
+	if !sawMerge {
+		t.Error("no merge instant exported")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	tr := New(Options{SamplePairEvery: 16})
+	train := tr.Start("train_svm")
+	train.Event("path_weight", String("path", "Publish-Publish"), Float("resem_w", 0.8), Float("walk_w", 0.2))
+	train.End()
+	batch := tr.Start("batch")
+	for _, name := range []string{"A", "B"} {
+		sp := batch.Start("name:"+name, Int("refs", 4))
+		sp.Event("merge", Int("a", 0), Int("b", 1), Int("new", 4), Float("sim", 0.5), Int("size_a", 1), Int("size_b", 1))
+		sp.Event("cut", Int("clusters", 2), Int("merges", 1), Float("min_sim", 0.1))
+		sp.End()
+	}
+	batch.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, tr.File(), ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# distinct run report",
+		"pair provenance 1/16",
+		"## Span tree",
+		"## Slowest names (2 of 2)",
+		"## Merge timeline",
+		"-> cluster 4",
+		"## Join-path weights",
+		"| Publish-Publish | 0.8 | 0.2 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report misses %q\n---\n%s", want, out)
+		}
+	}
+
+	// Empty trace file renders a placeholder, not an error.
+	buf.Reset()
+	if err := WriteReport(&buf, &File{Format: FileFormat}, ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(empty trace)") {
+		t.Errorf("empty report = %q", buf.String())
+	}
+}
+
+func TestWriteReportCollapsesChildren(t *testing.T) {
+	tr := New(Options{})
+	batch := tr.Start("batch")
+	for i := 0; i < 12; i++ {
+		batch.Start("name:" + string(rune('a'+i))).End()
+	}
+	batch.End()
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, tr.File(), ReportOptions{TopK: 3, MaxChildren: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(+8 more children") {
+		t.Errorf("no collapse line in:\n%s", out)
+	}
+	if !strings.Contains(out, "Slowest names (3 of 12)") {
+		t.Errorf("top-k not applied in:\n%s", out)
+	}
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Structured logging rides the trace spine: NewLogger builds a slog.Logger
+// whose records carry the id and name of the span they were derived from,
+// so a log line always points back into the trace tree. Logging is off by
+// default — a nil writer yields a logger whose handler reports every level
+// disabled, so call sites pay one Enabled check and format nothing.
+
+// discardHandler is slog's off switch: nothing is enabled, nothing is kept.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// NewLogger returns a text logger writing to w at the given level. A nil w
+// returns the discarding logger (the default, off state).
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	if w == nil {
+		return slog.New(discardHandler{})
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// WithSpan stamps a logger with a span's identity: every record gains
+// span=<id> and span_name=<name>. A nil span (tracing off) stamps span=-1,
+// keeping the record shape stable either way.
+func WithSpan(l *slog.Logger, s *Span) *slog.Logger {
+	return l.With(slog.Int("span", s.ID()), slog.String("span_name", s.Name()))
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReportOptions tunes the rendered run report.
+type ReportOptions struct {
+	// TopK bounds the slowest-names table and the merge timelines (default 10).
+	TopK int
+	// MaxChildren bounds how many children of one span the tree section
+	// prints before collapsing the rest into a summary line (default 8).
+	MaxChildren int
+}
+
+func (o ReportOptions) withDefaults() ReportOptions {
+	if o.TopK <= 0 {
+		o.TopK = 10
+	}
+	if o.MaxChildren <= 0 {
+		o.MaxChildren = 8
+	}
+	return o
+}
+
+// NameSpanPrefix marks per-name batch spans ("name:Wei Wang").
+const NameSpanPrefix = "name:"
+
+// WriteReport renders a trace tree as a Markdown-flavoured run report: the
+// span tree with durations, the top-k slowest names, the merge timeline of
+// the slowest names, and the learned per-path weight table (from the
+// "path_weight" events the training stage emits).
+func WriteReport(w io.Writer, f *File, opts ReportOptions) error {
+	opts = opts.withDefaults()
+	if f == nil || f.Root == nil {
+		_, err := fmt.Fprintln(w, "# distinct run report\n\n(empty trace)")
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# distinct run report\n\n")
+	fmt.Fprintf(&b, "total %s · %d spans · %d events", fmtDur(f.Root.DurNs), f.Spans, f.Events)
+	if f.SamplePairEvery > 0 {
+		fmt.Fprintf(&b, " · pair provenance 1/%d", f.SamplePairEvery)
+	}
+	b.WriteString("\n\n## Span tree\n\n```\n")
+	writeTree(&b, f.Root, "", opts)
+	b.WriteString("```\n")
+
+	names := collectNameSpans(f.Root)
+	if len(names) > 0 {
+		sort.SliceStable(names, func(i, j int) bool { return names[i].DurNs > names[j].DurNs })
+		k := opts.TopK
+		if k > len(names) {
+			k = len(names)
+		}
+		fmt.Fprintf(&b, "\n## Slowest names (%d of %d)\n\n", k, len(names))
+		fmt.Fprintf(&b, "| name | duration | refs | merges | clusters |\n|---|---|---|---|---|\n")
+		for _, n := range names[:k] {
+			merges, clusters := mergeStats(n)
+			fmt.Fprintf(&b, "| %s | %s | %s | %d | %s |\n",
+				strings.TrimPrefix(n.Name, NameSpanPrefix), fmtDur(n.DurNs),
+				attrStr(n.Attrs, "refs"), merges, clusters)
+		}
+		fmt.Fprintf(&b, "\n## Merge timeline — %s\n\n",
+			strings.TrimPrefix(names[0].Name, NameSpanPrefix))
+		writeMerges(&b, names[0], opts.TopK*4)
+	}
+
+	if weights := collectEvents(f.Root, "path_weight"); len(weights) > 0 {
+		fmt.Fprintf(&b, "\n## Join-path weights\n\n| path | resemblance | walk |\n|---|---|---|\n")
+		for _, ev := range weights {
+			fmt.Fprintf(&b, "| %s | %s | %s |\n",
+				attrStr(ev.Attrs, "path"), attrStr(ev.Attrs, "resem_w"), attrStr(ev.Attrs, "walk_w"))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeTree renders one span line and recurses, collapsing long child
+// lists (batch sweeps have one child per name) past opts.MaxChildren.
+func writeTree(b *strings.Builder, s *SpanNode, indent string, opts ReportOptions) {
+	fmt.Fprintf(b, "%s%-*s %10s", indent, 34-len(indent), s.Name, fmtDur(s.DurNs))
+	if len(s.Events) > 0 {
+		fmt.Fprintf(b, "  events=%d", len(s.Events))
+	}
+	for _, key := range sortedKeys(s.Attrs) {
+		fmt.Fprintf(b, "  %s=%v", key, s.Attrs[key])
+	}
+	b.WriteByte('\n')
+	children := s.Children
+	if len(children) > opts.MaxChildren {
+		shown := append([]*SpanNode(nil), children...)
+		sort.SliceStable(shown, func(i, j int) bool { return shown[i].DurNs > shown[j].DurNs })
+		var restNs int64
+		for _, c := range shown[opts.MaxChildren:] {
+			restNs += c.DurNs
+		}
+		for _, c := range shown[:opts.MaxChildren] {
+			writeTree(b, c, indent+"  ", opts)
+		}
+		fmt.Fprintf(b, "%s(+%d more children, %s total)\n",
+			indent+"  ", len(children)-opts.MaxChildren, fmtDur(restNs))
+		return
+	}
+	for _, c := range children {
+		writeTree(b, c, indent+"  ", opts)
+	}
+}
+
+// writeMerges renders a span subtree's merge events in trace order.
+func writeMerges(b *strings.Builder, s *SpanNode, max int) {
+	merges := collectEvents(s, "merge")
+	if len(merges) == 0 {
+		b.WriteString("(no merges)\n")
+		return
+	}
+	b.WriteString("```\n")
+	for i, ev := range merges {
+		if i == max {
+			fmt.Fprintf(b, "... (+%d more merges)\n", len(merges)-max)
+			break
+		}
+		fmt.Fprintf(b, "%3d  t=+%-10s sim=%-12v %v+%v -> cluster %v\n",
+			i+1, fmtDur(ev.TNs), ev.Attrs["sim"],
+			ev.Attrs["size_a"], ev.Attrs["size_b"], ev.Attrs["new"])
+	}
+	b.WriteString("```\n")
+	for _, ev := range collectEvents(s, "cut") {
+		fmt.Fprintf(b, "cut: %s\n", attrLine(ev.Attrs))
+	}
+}
+
+// collectNameSpans gathers every per-name batch span in the tree.
+func collectNameSpans(s *SpanNode) []*SpanNode {
+	var out []*SpanNode
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		if strings.HasPrefix(n.Name, NameSpanPrefix) {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// collectEvents gathers every event with the given name from a subtree, in
+// depth-first span order (per-span event order preserved).
+func collectEvents(s *SpanNode, name string) []EventNode {
+	var out []EventNode
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		for _, ev := range n.Events {
+			if ev.Name == name {
+				out = append(out, ev)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// mergeStats counts a subtree's merges and reads its final cluster count
+// from the last "cut" event ("-" when the subtree holds none).
+func mergeStats(s *SpanNode) (merges int, clusters string) {
+	merges = len(collectEvents(s, "merge"))
+	clusters = "-"
+	if cuts := collectEvents(s, "cut"); len(cuts) > 0 {
+		if v, ok := cuts[len(cuts)-1].Attrs["clusters"]; ok {
+			clusters = fmt.Sprintf("%v", v)
+		}
+	}
+	return merges, clusters
+}
+
+func attrStr(m map[string]any, key string) string {
+	if v, ok := m[key]; ok {
+		return fmt.Sprintf("%v", v)
+	}
+	return "-"
+}
+
+func attrLine(m map[string]any) string {
+	parts := make([]string, 0, len(m))
+	for _, k := range sortedKeys(m) {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtDur renders nanoseconds with millisecond-scale rounding, matching how
+// humans read pipeline stage times.
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := New(Options{SamplePairEvery: 64})
+	if got := tr.SamplePairEvery(); got != 64 {
+		t.Fatalf("SamplePairEvery = %d", got)
+	}
+	a := tr.Start("expand", Int("tuples", 10))
+	a.End()
+	b := tr.Start("cluster")
+	b.Event("merge", Int("a", 0), Int("b", 1), Float("sim", 0.25))
+	b.Event("merge", Int("a", 2), Int("b", 3), Float("sim", 0.125))
+	c := b.Start("inner", String("why", "test"), Bool("ok", true))
+	c.SetAttrs(Float("score", 1.5))
+	c.End()
+	b.End()
+	tr.Finish()
+
+	if spans, events := tr.Counts(); spans != 4 || events != 2 {
+		t.Fatalf("counts = %d spans, %d events", spans, events)
+	}
+	root := tr.Tree()
+	if root.Name != "run" || len(root.Children) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	if got := root.Children[0]; got.Name != "expand" || got.Attrs["tuples"] != int64(10) {
+		t.Errorf("expand node = %+v", got)
+	}
+	cl := root.Children[1]
+	if len(cl.Events) != 2 || cl.Events[0].Attrs["sim"] != 0.25 {
+		t.Errorf("cluster events = %+v", cl.Events)
+	}
+	if cl.Events[0].TNs > cl.Events[1].TNs {
+		t.Errorf("event timestamps out of order: %d > %d", cl.Events[0].TNs, cl.Events[1].TNs)
+	}
+	inner := cl.Children[0]
+	if inner.Attrs["why"] != "test" || inner.Attrs["ok"] != true || inner.Attrs["score"] != 1.5 {
+		t.Errorf("inner attrs = %+v", inner.Attrs)
+	}
+	if inner.StartNs < cl.StartNs || inner.DurNs < 0 {
+		t.Errorf("inner timing start=%d dur=%d (parent start %d)", inner.StartNs, inner.DurNs, cl.StartNs)
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	if tr.Root() != nil || tr.SamplePairEvery() != 0 {
+		t.Fatal("nil trace leaked state")
+	}
+	sp := tr.Start("stage", Int("n", 1))
+	if sp != nil {
+		t.Fatal("nil trace produced a span")
+	}
+	// Every span method must be a no-op on nil.
+	sp.End()
+	sp.SetAttrs(String("k", "v"))
+	sp.Event("ev", Float("x", 1))
+	sp.EventAll([]Event{{Name: "ev"}})
+	if sp.Start("child") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if sp.ID() != -1 || sp.Name() != "" {
+		t.Fatal("nil span identity leaked")
+	}
+	tr.Finish()
+	if spans, events := tr.Counts(); spans != 0 || events != 0 {
+		t.Fatal("nil trace counted")
+	}
+	if tr.Tree() != nil {
+		t.Fatal("nil trace produced a tree")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	buf.Reset()
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatalf("nil WriteChromeJSON: %v", err)
+	}
+	var cf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &cf); err != nil {
+		t.Fatalf("nil chrome output invalid: %v", err)
+	}
+	if len(cf.TraceEvents) != 0 {
+		t.Fatalf("nil trace emitted %d events", len(cf.TraceEvents))
+	}
+}
+
+func TestEventAllPreservesOrderAndStamps(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.Start("similarities")
+	sp.EventAll([]Event{
+		{Name: "pair", TNs: 5, Attrs: []Attr{Int("i", 0), Int("j", 1)}},
+		{Name: "pair", Attrs: []Attr{Int("i", 0), Int("j", 3)}},
+	})
+	sp.End()
+	node := tr.Tree().Children[0]
+	if len(node.Events) != 2 {
+		t.Fatalf("events = %+v", node.Events)
+	}
+	if node.Events[0].TNs != 5 {
+		t.Errorf("preset timestamp overwritten: %d", node.Events[0].TNs)
+	}
+	if node.Events[1].TNs == 0 {
+		t.Errorf("unset timestamp not stamped")
+	}
+	if node.Events[1].Attrs["j"] != int64(3) {
+		t.Errorf("attrs = %+v", node.Events[1].Attrs)
+	}
+}
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	tr := New(Options{SamplePairEvery: 8})
+	sp := tr.Start("batch")
+	sp.Start("name:A", Int("refs", 3)).End()
+	sp.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SamplePairEvery != 8 || f.Spans != 3 || f.Root == nil {
+		t.Fatalf("file = %+v", f)
+	}
+	if f.Root.Children[0].Children[0].Name != "name:A" {
+		t.Fatalf("tree = %+v", f.Root)
+	}
+	// JSON numbers decode as float64; the report layer formats them, it
+	// never does arithmetic, so that is part of the contract.
+	if f.Root.Children[0].Children[0].Attrs["refs"] != float64(3) {
+		t.Fatalf("attrs = %+v", f.Root.Children[0].Children[0].Attrs)
+	}
+
+	if _, err := Read(strings.NewReader(`{"format":"other/9"}`)); err == nil {
+		t.Fatal("foreign format accepted")
+	}
+}
+
+func TestConcurrentSpansAndEvents(t *testing.T) {
+	tr := New(Options{})
+	parent := tr.Start("batch")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := parent.Start("name:x", Int("worker", int64(i)))
+			for j := 0; j < 10; j++ {
+				sp.Event("merge", Int("j", int64(j)))
+			}
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	parent.End()
+	tr.Finish()
+	spans, events := tr.Counts()
+	if spans != 18 || events != 160 {
+		t.Fatalf("counts = %d spans, %d events", spans, events)
+	}
+	node := tr.Tree().Children[0]
+	if len(node.Children) != 16 {
+		t.Fatalf("children = %d", len(node.Children))
+	}
+	ids := make(map[int]bool)
+	for _, c := range node.Children {
+		if ids[c.ID] {
+			t.Fatalf("duplicate span id %d", c.ID)
+		}
+		ids[c.ID] = true
+		if len(c.Events) != 10 {
+			t.Fatalf("span %d has %d events", c.ID, len(c.Events))
+		}
+	}
+}
+
+func TestAttrFormatting(t *testing.T) {
+	cases := []struct {
+		attr Attr
+		want string
+	}{
+		{Int("n", 42), "n=42"},
+		{Float("sim", 0.0001220703125), "sim=0.0001220703125"},
+		{Float("e", 1e-9), "e=1e-09"},
+		{String("name", "Wei Wang"), "name=Wei Wang"},
+		{Bool("ok", true), "ok=true"},
+	}
+	for _, c := range cases {
+		if got := c.attr.String(); got != c.want {
+			t.Errorf("attr %v = %q, want %q", c.attr.Kind(), got, c.want)
+		}
+	}
+	if v, ok := Int("n", 42).Value().(int64); !ok || v != 42 {
+		t.Errorf("Int value = %v", Int("n", 42).Value())
+	}
+}
+
+func TestLogger(t *testing.T) {
+	if lg := NewLogger(nil, slog.LevelInfo); lg.Enabled(nil, slog.LevelError) {
+		t.Fatal("nil-writer logger is enabled")
+	}
+	var buf bytes.Buffer
+	tr := New(Options{})
+	sp := tr.Start("train_svm")
+	lg := WithSpan(NewLogger(&buf, slog.LevelInfo), sp)
+	lg.Info("trained", "paths", 12)
+	out := buf.String()
+	for _, want := range []string{"span=1", "span_name=train_svm", "paths=12", "msg=trained"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log record %q misses %q", out, want)
+		}
+	}
+	// A nil span keeps the record shape with the sentinel id.
+	buf.Reset()
+	WithSpan(NewLogger(&buf, slog.LevelInfo), nil).Info("off")
+	if !strings.Contains(buf.String(), "span=-1") {
+		t.Errorf("nil-span record = %q", buf.String())
+	}
+}

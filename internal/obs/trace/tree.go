@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SpanNode is the exported form of one span: a self-describing subtree
+// with relative timestamps (nanoseconds since trace start) and dynamic
+// attribute maps. It is what WriteJSON emits and what the report reader
+// consumes.
+type SpanNode struct {
+	ID       int            `json:"id"`
+	Name     string         `json:"name"`
+	StartNs  int64          `json:"start_ns"`
+	DurNs    int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Events   []EventNode    `json:"events,omitempty"`
+	Children []*SpanNode    `json:"children,omitempty"`
+}
+
+// EventNode is the exported form of one event.
+type EventNode struct {
+	Name  string         `json:"name"`
+	TNs   int64          `json:"t_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// File is the self-describing on-disk trace: a format marker, the sampling
+// policy the trace ran with, span/event totals, and the span tree.
+type File struct {
+	Format          string    `json:"format"`
+	SamplePairEvery int       `json:"sample_pair_every,omitempty"`
+	Spans           int       `json:"spans"`
+	Events          int       `json:"events"`
+	Root            *SpanNode `json:"root"`
+}
+
+// FileFormat marks the trace-tree JSON layout version.
+const FileFormat = "distinct-trace/1"
+
+// Tree snapshots the span tree. Open spans (including the root before
+// Finish) export with the snapshot instant as their end. Returns nil on a
+// nil trace.
+func (t *Trace) Tree() *SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.sinceLocked()
+	return exportSpan(t.root, now)
+}
+
+// exportSpan deep-copies a span subtree; call with the trace mutex held.
+func exportSpan(s *Span, now int64) *SpanNode {
+	end := s.endNs
+	if !s.ended {
+		end = now
+	}
+	n := &SpanNode{
+		ID:      s.id,
+		Name:    s.name,
+		StartNs: s.startNs,
+		DurNs:   end - s.startNs,
+		Attrs:   attrMap(s.attrs),
+	}
+	if len(s.events) > 0 {
+		n.Events = make([]EventNode, len(s.events))
+		for i, ev := range s.events {
+			n.Events[i] = EventNode{Name: ev.Name, TNs: ev.TNs, Attrs: attrMap(ev.Attrs)}
+		}
+	}
+	if len(s.children) > 0 {
+		n.Children = make([]*SpanNode, len(s.children))
+		for i, c := range s.children {
+			n.Children[i] = exportSpan(c, now)
+		}
+	}
+	return n
+}
+
+// File snapshots the whole trace in its on-disk form. Works on a nil trace
+// (empty file with a nil root), so callers need no enablement check.
+func (t *Trace) File() *File {
+	f := &File{Format: FileFormat}
+	if t == nil {
+		return f
+	}
+	f.Root = t.Tree()
+	t.mu.Lock()
+	f.SamplePairEvery = t.sampleEvery
+	f.Spans = t.numSpans
+	f.Events = t.numEvents
+	t.mu.Unlock()
+	return f
+}
+
+// WriteJSON writes the self-describing span tree as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.File())
+}
+
+// WriteFile dumps the span tree to path (the -tracetree flag of the CLIs).
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a trace tree written by WriteJSON.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: parsing tree: %w", err)
+	}
+	if f.Format != FileFormat {
+		return nil, fmt.Errorf("trace: unknown format %q (want %q)", f.Format, FileFormat)
+	}
+	return &f, nil
+}
+
+// ReadFileJSON reads a trace tree file written by WriteFile.
+func ReadFileJSON(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"distinct/internal/obs/trace"
 	"distinct/internal/prop"
 	"distinct/internal/reldb"
 )
@@ -15,6 +16,15 @@ import (
 // The sparse finalisation (sort + Σ Fwd) also runs on the workers, so a
 // prefetched reference costs the serving path nothing but a cache read.
 func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
+	e.PrefetchSpan(refs, workers, nil)
+}
+
+// PrefetchSpan is Prefetch that, when parent is non-nil, records the work as
+// a "prefetch" child span carrying how many references were requested and
+// how many actually propagated (the rest were cache hits). A fully warm
+// cache records propagated=0, so batch sweeps show per-name prefetch spans
+// that did no work — which is itself the interesting fact.
+func (e *Extractor) PrefetchSpan(refs []reldb.TupleID, workers int, parent *trace.Span) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -35,6 +45,10 @@ func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 	e.prefetchRequested.Add(int64(len(refs)))
 	e.prefetchDeduped.Add(int64(len(refs) - len(todo)))
 	e.prefetchPropagated.Add(int64(len(todo)))
+	tsp := parent.Start("prefetch",
+		trace.Int("requested", int64(len(refs))),
+		trace.Int("propagated", int64(len(todo))))
+	defer tsp.End()
 	if len(todo) == 0 {
 		return
 	}

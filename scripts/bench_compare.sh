@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# bench_compare.sh — regression gate over the perf baseline.
+#
+# Runs the benchmark suite (the bench.sh set) -count times, takes the
+# per-benchmark median ns/op, writes the snapshot, and compares it against
+# the committed baseline: any benchmark whose median regresses by more than
+# the threshold fails the script.
+#
+# Usage:  scripts/bench_compare.sh [BASELINE.json] [OUT.json]
+#           BASELINE  default BENCH_1.json
+#           OUT       default BENCH_2.json
+#   env:  BENCH_COUNT      runs per benchmark for the median (default 3)
+#         BENCH_THRESHOLD  allowed regression in percent (default 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_1.json}"
+out="${2:-BENCH_2.json}"
+count="${BENCH_COUNT:-3}"
+threshold="${BENCH_THRESHOLD:-10}"
+
+if [[ ! -e "$baseline" ]]; then
+  echo "bench_compare: baseline $baseline not found" >&2
+  exit 1
+fi
+
+benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering)$'
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench="$benchre" -benchmem -count="$count" . | tee "$raw"
+
+# Median ns/op (and last-seen B/op, allocs/op, metrics) per benchmark,
+# emitted in the bench.sh JSON layout so the snapshots stay comparable.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function median(name,   m, k, tmp, i, j, t) {
+  m = nsamp[name]
+  for (i = 1; i <= m; i++) tmp[i] = samp[name, i]
+  for (i = 1; i <= m; i++)                       # insertion sort; m is tiny
+    for (j = i; j > 1 && tmp[j] < tmp[j-1]; j--) { t = tmp[j]; tmp[j] = tmp[j-1]; tmp[j-1] = t }
+  if (m % 2) return tmp[(m + 1) / 2]
+  return (tmp[m / 2] + tmp[m / 2 + 1]) / 2
+}
+/^(goos|goarch|pkg|cpu):/ { meta[$1] = substr($0, index($0, $2)); next }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  if (!(name in nsamp)) order[norder++] = name
+  iters[name] = $2
+  metrics = ""
+  for (i = 3; i < NF; i += 2) {
+    v = $i; u = $(i + 1)
+    if (u == "ns/op") { nsamp[name]++; samp[name, nsamp[name]] = v }
+    else if (u == "B/op") bytes[name] = v
+    else if (u == "allocs/op") allocs[name] = v
+    else {
+      gsub(/"/, "\\\"", u)
+      metrics = metrics (metrics == "" ? "" : ", ") "\"" u "\": " v
+    }
+  }
+  if (metrics != "") met[name] = metrics
+  next
+}
+END {
+  printf "{\n"
+  printf "  \"date\": \"%s\",\n", date
+  printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", meta["goos:"], meta["goarch:"], meta["cpu:"]
+  printf "  \"benchmarks\": [\n"
+  for (i = 0; i < norder; i++) {
+    name = order[i]
+    row = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %d", name, iters[name], median(name))
+    if (name in bytes)  row = row sprintf(", \"bytes_per_op\": %s", bytes[name])
+    if (name in allocs) row = row sprintf(", \"allocs_per_op\": %s", allocs[name])
+    if (name in met)    row = row ", \"metrics\": {" met[name] "}"
+    row = row "}"
+    printf "  %s%s\n", row, (i < norder - 1 ? "," : "")
+  }
+  printf "  ]\n}\n"
+}' "$raw" > "$out"
+echo "wrote $out (median of $count runs)"
+
+# Compare: baseline vs new median, fail on > threshold% regression.
+fail=0
+while IFS=$'\t' read -r name base new; do
+  pct=$(awk -v b="$base" -v n="$new" 'BEGIN { printf "%+.1f", (n - b) * 100 / b }')
+  verdict="ok"
+  if awk -v b="$base" -v n="$new" -v t="$threshold" 'BEGIN { exit !(n > b * (1 + t / 100)) }'; then
+    verdict="REGRESSION (> ${threshold}%)"
+    fail=1
+  fi
+  printf '%-36s %14d -> %14d ns/op  %s%%  %s\n' "$name" "$base" "$new" "$pct" "$verdict"
+done < <(awk '
+  FNR == 1 { file++ }
+  match($0, /"name": "[^"]+"/) {
+    name = substr($0, RSTART + 9, RLENGTH - 10)
+    if (match($0, /"ns_per_op": [0-9]+/))
+      ns[file, name] = substr($0, RSTART + 13, RLENGTH - 13)
+    if (file == 1) order[n++] = name
+  }
+  END {
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      if ((2, name) in ns)
+        printf "%s\t%s\t%s\n", name, ns[1, name], ns[2, name]
+    }
+  }' "$baseline" "$out")
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "bench_compare: median regression beyond ${threshold}% vs $baseline" >&2
+  exit 1
+fi
+echo "bench_compare: all medians within ${threshold}% of $baseline"
