@@ -10,6 +10,9 @@
 //	         [-dblpxml dblp.xml]   load a real DBLP XML export instead
 //	         [-measure combined|resemblance|walk] [-weights]
 //	         [-batch N]            disambiguate every name with >= N refs
+//	         [-timeout D]          whole-run budget (context deadline)
+//	         [-name-timeout D]     per-name budget in -batch (degraded retry,
+//	                               then a recorded incident)
 //	         [-tune]               auto-tune min-sim on rare-name pairs
 //	         [-mergeprofile]       print the merge profile of -name
 //	         [-savemodel model.json] [-loadmodel model.json]
@@ -19,13 +22,22 @@
 //	         [-tracetree out.json] write the span tree for cmd/tracereport
 //	         [-tracesample N]      pair-provenance sampling period (default 64)
 //	         [-v]                  log progress to stderr (structured, span-stamped)
+//
+// SIGINT/SIGTERM cancel the run's context: in-flight work stops at the next
+// chunk boundary, trace and metrics artifacts still flush, a partial batch
+// result (with its incident summary) is printed, and the process exits
+// nonzero instead of dying mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"distinct"
 	"distinct/internal/dataio"
@@ -36,6 +48,15 @@ import (
 )
 
 func main() {
+	// All artifact flushing (metrics, traces, server shutdown) happens in
+	// run's defers, so an error path cannot skip them the way os.Exit would.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distinct:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		worldPath    = flag.String("world", "world.json", "world file written by dblpgen")
 		xmlPath      = flag.String("dblpxml", "", "load a DBLP XML export instead of a world file (no ground truth)")
@@ -48,6 +69,8 @@ func main() {
 		trainN       = flag.Int("train", 1000, "training pairs per class")
 		seed         = flag.Int64("seed", 1, "training-set sampling seed")
 		batch        = flag.Int("batch", 0, "disambiguate every name with at least this many references")
+		timeout      = flag.Duration("timeout", 0, "whole-run budget; 0 disables (SIGINT/SIGTERM always cancel)")
+		nameTimeout  = flag.Duration("name-timeout", 0, "with -batch: per-name budget (over-budget names degrade, then become incidents); 0 disables")
 		tune         = flag.Bool("tune", false, "auto-tune min-sim on synthetic rare-name pairs")
 		mergeProfile = flag.Bool("mergeprofile", false, "print the merge profile of -name (helps choose min-sim)")
 		explain      = flag.Bool("explain", false, "explain the similarity of the first two references of -name")
@@ -62,6 +85,18 @@ func main() {
 		verbose      = flag.Bool("v", false, "log progress to stderr (structured, span-stamped)")
 	)
 	flag.Parse()
+
+	// The run context: SIGINT/SIGTERM cancel it, -timeout bounds it. Every
+	// pipeline call below goes through the ctx APIs, so cancellation stops
+	// work at the next chunk boundary and unwinds through the deferred
+	// artifact writers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// Progress goes through a structured logger, off by default; results
 	// stay on stdout. With -v each record carries the id of the trace span
@@ -81,7 +116,7 @@ func main() {
 	if *obsAddr != "" {
 		srv, err := distinct.ServeMetrics(*obsAddr, reg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer srv.Close()
 		fmt.Printf("observability server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
@@ -97,7 +132,8 @@ func main() {
 	}
 
 	// Tracing is likewise opt-in; the trace's exports are written at exit,
-	// after the deferred root-span Finish.
+	// after the deferred root-span Finish — including when the run was
+	// cancelled, so an aborted run still leaves inspectable artifacts.
 	var tr *distinct.Trace
 	if *traceOut != "" || *traceTree != "" {
 		tr = distinct.NewTrace(*traceSample)
@@ -130,7 +166,7 @@ func main() {
 	case "walk":
 		measure = distinct.RandomWalkOnly
 	default:
-		fatal(fmt.Errorf("unknown measure %q", *measureName))
+		return fmt.Errorf("unknown measure %q", *measureName)
 	}
 
 	var (
@@ -141,19 +177,19 @@ func main() {
 	if *xmlPath != "" {
 		f, err := os.Open(*xmlPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		loaded, stats, err := dblpxml.Load(f, dblpxml.Options{})
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		lg.Info("loaded DBLP XML", "path", *xmlPath, "records", stats.Records,
 			"authors", stats.Authors, "refs", stats.Refs, "skipped", stats.Skipped)
 		if *prune > 1 {
 			pruned, ps, err := dblpxml.Prune(loaded, *prune)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			loaded = pruned
 			lg.Info("pruned sparse authors", "min_refs", *prune,
@@ -163,13 +199,13 @@ func main() {
 	} else {
 		w, err := dataio.LoadWorldFile(*worldPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		world = w
 		db = w.DB
 		ambiguous = w.AmbiguousNames()
 	}
-	eng, err := distinct.Open(db, distinct.Config{
+	eng, err := distinct.OpenCtx(ctx, db, distinct.Config{
 		RefRelation:  "Publish",
 		RefAttr:      "author",
 		SkipExpand:   []string{"Publications.title"},
@@ -184,28 +220,28 @@ func main() {
 		Trace:   tr,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	switch {
 	case *loadModel != "":
 		f, err := os.Open(*loadModel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		m, err := distinct.LoadModel(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := eng.ApplyModel(m); err != nil {
-			fatal(err)
+			return err
 		}
 		lg.Info("model loaded", "path", *loadModel, "paths", len(m.Paths))
 	case !*unsupervised:
-		rep, err := eng.Train()
+		rep, err := eng.TrainCtx(ctx)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		lg.Info("trained", "positive", rep.NumPositive, "negative", rep.NumNegative,
 			"rare_names", rep.NumRareNames, "duration", rep.Timings.TotalTrain)
@@ -224,21 +260,21 @@ func main() {
 	if *saveModel != "" {
 		f, err := os.Create(*saveModel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := eng.SaveModel(f); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		lg.Info("model written", "path", *saveModel)
 	}
 	if *tune {
 		res, err := eng.TuneMinSim(nil, 50, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("tuned min-sim = %g (avg f-measure %.3f over %d synthetic cases)\n",
 			res.MinSim, res.F1, res.Cases)
@@ -250,31 +286,39 @@ func main() {
 			Verify:       func(a, b string) float64 { return eng.Affinity(a, b) },
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("\ntop %d candidate duplicate names (string join + relational verification):\n", len(pairs))
 		fmt.Printf("%-26s %-26s %10s %12s\n", "name A", "name B", "string", "relational")
 		for _, p := range pairs {
 			fmt.Printf("%-26s %-26s %10.3f %12.5f\n", p.A, p.B, p.StringSim, p.RelationalSim)
 		}
-		return
+		return nil
 	}
 
 	if *batch > 0 {
-		res, err := eng.DisambiguateAll(*batch)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\nbatch pass: %d names with >=%d refs examined, %d split\n",
-			res.NamesExamined, *batch, len(res.Split))
-		for _, sp := range res.Split {
-			sizes := make([]int, len(sp.Groups))
-			for i, g := range sp.Groups {
-				sizes[i] = len(g)
+		res, err := eng.DisambiguateAllCtx(ctx, distinct.BatchOptions{
+			MinRefs:     *batch,
+			NameTimeout: *nameTimeout,
+		})
+		if res != nil {
+			fmt.Printf("\nbatch pass: %d names with >=%d refs examined, %d split\n",
+				res.NamesExamined, *batch, len(res.Split))
+			for _, sp := range res.Split {
+				sizes := make([]int, len(sp.Groups))
+				for i, g := range sp.Groups {
+					sizes[i] = len(g)
+				}
+				fmt.Printf("  %-26s -> %d groups %v\n", sp.Name, len(sp.Groups), sizes)
 			}
-			fmt.Printf("  %-26s -> %d groups %v\n", sp.Name, len(sp.Groups), sizes)
+			printIncidents(res.Incidents)
 		}
-		return
+		if err != nil {
+			// Cancelled or timed out mid-batch: the partial result above is
+			// everything that completed; exit nonzero.
+			return err
+		}
+		return nil
 	}
 
 	if *mergeProfile {
@@ -292,9 +336,9 @@ func main() {
 		}
 	}
 
-	groups, err := eng.Disambiguate(*name)
+	groups, err := eng.DisambiguateCtx(ctx, *name)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("\n%q: %d references in %d groups\n", *name, len(eng.Refs(*name)), len(groups))
 	for i, g := range groups {
@@ -312,7 +356,7 @@ func main() {
 
 	// Score against ground truth when available.
 	if world == nil {
-		return
+		return nil
 	}
 	for _, amb := range world.AmbiguousNames() {
 		if amb != *name {
@@ -324,13 +368,27 @@ func main() {
 		}
 		m, err := distinct.Score(groups, gold)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("\nground truth: %d authors; %s\n", len(gold), m)
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "distinct:", err)
-	os.Exit(1)
+// printIncidents renders a batch's incident summary: which names could not
+// be fully processed, at which stage, why, and how long they ran.
+func printIncidents(incidents []distinct.Incident) {
+	if len(incidents) == 0 {
+		return
+	}
+	fmt.Printf("\n%d incident(s):\n", len(incidents))
+	fmt.Printf("  %-26s %-14s %-12s %10s  %s\n", "name", "stage", "reason", "elapsed", "error")
+	for _, inc := range incidents {
+		stage := inc.Stage
+		if stage == "" {
+			stage = "-"
+		}
+		fmt.Printf("  %-26s %-14s %-12s %10s  %s\n",
+			inc.Name, stage, inc.Reason, inc.Elapsed.Round(time.Millisecond), inc.Err)
+	}
 }

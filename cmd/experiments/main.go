@@ -7,19 +7,27 @@
 //	experiments [-all] [-table1] [-table2] [-figure4] [-figure5] [-timing]
 //	            [-ablation] [-name "Wei Wang"] [-dot out.dot]
 //	            [-seed N] [-communities N] [-authors N] [-minsim X]
+//	            [-timeout D] [-name-timeout D]
 //	            [-metrics out.json] [-obs addr]
 //	            [-trace out.json] [-tracetree out.json] [-tracesample N] [-v]
 //
 // With no experiment flags, -all is assumed.
+//
+// SIGINT/SIGTERM cancel the run's context: in-flight pipeline work stops at
+// the next chunk boundary, trace and metrics artifacts still flush, and the
+// process exits nonzero instead of dying mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"distinct/internal/dblp"
 	"distinct/internal/experiments"
@@ -29,6 +37,15 @@ import (
 )
 
 func main() {
+	// Artifact flushing (metrics, traces, server shutdown) happens in run's
+	// defers, so an error path cannot skip them the way os.Exit would.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		all     = flag.Bool("all", false, "run every experiment")
 		table1  = flag.Bool("table1", false, "print Table 1 (the ambiguous-name dataset)")
@@ -55,6 +72,9 @@ func main() {
 		trainN  = flag.Int("train", 0, "override training pairs per class (paper: 1000)")
 		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 
+		runTimeout  = flag.Duration("timeout", 0, "bound the whole run (e.g. 10m); expiry cancels in-flight work and exits nonzero")
+		nameTimeout = flag.Duration("name-timeout", 0, "per-name budget for similarity computation (e.g. 30s)")
+
 		metricsOut = flag.String("metrics", "", "write the observability snapshot (JSON) to this file at exit")
 		obsAddr    = flag.String("obs", "", "serve live metrics and pprof on this address (e.g. localhost:6060)")
 
@@ -64,6 +84,16 @@ func main() {
 		verbose     = flag.Bool("v", false, "log progress to stderr (structured, span-stamped)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run context; pipeline stages observe it at
+	// chunk boundaries, so the deferred artifact writers below still run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *runTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runTimeout)
+		defer cancel()
+	}
 
 	// Progress goes through a structured logger, off by default; the tables
 	// and figures stay on stdout.
@@ -80,7 +110,7 @@ func main() {
 	if *obsAddr != "" {
 		srv, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer srv.Close()
 		fmt.Printf("observability server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
@@ -128,7 +158,7 @@ func main() {
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -140,7 +170,10 @@ func main() {
 	if *authors > 0 {
 		world.AuthorsPerCommunity = *authors
 	}
-	opts := experiments.Options{World: world, MinSim: *minSim, Seed: *seed, Obs: reg, Trace: tr}
+	opts := experiments.Options{
+		World: world, MinSim: *minSim, Seed: *seed, Obs: reg, Trace: tr,
+		Ctx: ctx, NameTimeout: *nameTimeout,
+	}
 	if *trainN > 0 {
 		opts.TrainPositive, opts.TrainNegative = *trainN, *trainN
 	}
@@ -148,7 +181,7 @@ func main() {
 	lg.Info("generating world", "seed", *seed)
 	h, err := experiments.NewHarness(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	lg.Info("world generated",
 		"identities", len(h.World.Identities),
@@ -159,15 +192,17 @@ func main() {
 		fmt.Println("=== Table 1: names corresponding to multiple authors ===")
 		rows := h.Table1()
 		fmt.Println(experiments.FormatTable1(rows))
-		writeCSV(*csvDir, "table1.csv", func(w io.Writer) error {
+		if err := writeCSV(*csvDir, "table1.csv", func(w io.Writer) error {
 			return experiments.WriteTable1CSV(w, rows)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *timing {
 		fmt.Println("=== Section 5 timing: training pipeline ===")
 		tm, err := h.Timing()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatTiming(tm))
 	}
@@ -175,62 +210,72 @@ func main() {
 		fmt.Println("=== Table 2: accuracy for distinguishing references ===")
 		res, err := h.Table2()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatTable2(res))
-		writeCSV(*csvDir, "table2.csv", func(w io.Writer) error {
+		if err := writeCSV(*csvDir, "table2.csv", func(w io.Writer) error {
 			return experiments.WriteTable2CSV(w, res)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *figure4 {
 		fmt.Println("=== Figure 4: accuracy and f-measure of six variants ===")
 		rows, err := h.Figure4()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatFigure4(rows))
-		writeCSV(*csvDir, "figure4.csv", func(w io.Writer) error {
+		if err := writeCSV(*csvDir, "figure4.csv", func(w io.Writer) error {
 			return experiments.WriteFigure4CSV(w, rows)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *ablate {
 		fmt.Println("=== Ablation: cluster-measure design choices (beyond the paper) ===")
 		rows, err := h.Ablation()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatFigure4(rows))
-		writeCSV(*csvDir, "ablation.csv", func(w io.Writer) error {
+		if err := writeCSV(*csvDir, "ablation.csv", func(w io.Writer) error {
 			return experiments.WriteFigure4CSV(w, rows)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *scaling {
 		fmt.Println("=== Scaling: pipeline cost vs database size (beyond the paper) ===")
 		rows, err := h.Scaling(nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatScaling(rows))
-		writeCSV(*csvDir, "scaling.csv", func(w io.Writer) error {
+		if err := writeCSV(*csvDir, "scaling.csv", func(w io.Writer) error {
 			return experiments.WriteScalingCSV(w, rows)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *noise {
 		fmt.Println("=== Noise sensitivity: quality vs cross-community collaboration (beyond the paper) ===")
 		rows, err := h.NoiseSensitivity(nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatNoise(rows))
-		writeCSV(*csvDir, "noise.csv", func(w io.Writer) error {
+		if err := writeCSV(*csvDir, "noise.csv", func(w io.Writer) error {
 			return experiments.WriteNoiseCSV(w, rows)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *expandF {
 		fmt.Println("=== Attribute-expansion ablation (Section 2.1) ===")
 		rows, err := h.ExpansionAblation()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatExpansion(rows))
 	}
@@ -238,7 +283,7 @@ func main() {
 		fmt.Println("=== Citation linkage: quality vs citation density (beyond the paper) ===")
 		rows, err := h.CitationLinkage(nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatCitations(rows))
 	}
@@ -246,29 +291,33 @@ func main() {
 		fmt.Println("=== Seed robustness: Table 2 averages across generated worlds (beyond the paper) ===")
 		sum, err := h.SeedSweep(nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatSeeds(sum))
-		writeCSV(*csvDir, "seeds.csv", func(w io.Writer) error {
+		if err := writeCSV(*csvDir, "seeds.csv", func(w io.Writer) error {
 			return experiments.WriteSeedsCSV(w, sum)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *tsize {
 		fmt.Println("=== Training-set size sensitivity (beyond the paper) ===")
 		rows, err := h.TrainSizeSensitivity(nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatTrainSize(rows))
-		writeCSV(*csvDir, "trainsize.csv", func(w io.Writer) error {
+		if err := writeCSV(*csvDir, "trainsize.csv", func(w io.Writer) error {
 			return experiments.WriteTrainSizeCSV(w, rows)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *musicF {
 		fmt.Println("=== Cross-domain: songs sharing a title, AllMusic-style (beyond the paper) ===")
 		mres, err := experiments.MusicEvaluation(music.DefaultConfig(), *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatMusic(mres))
 	}
@@ -276,39 +325,36 @@ func main() {
 		fmt.Printf("=== Figure 5: groups of references of %s ===\n", *name)
 		res, err := h.Figure5(*name)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.FormatFigure5(res))
 		if *dotPath != "" {
 			if err := os.WriteFile(*dotPath, []byte(experiments.DOTFigure5(res)), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("DOT written to %s\n", *dotPath)
 		}
 	}
+	return nil
 }
 
 // writeCSV writes one experiment's CSV into dir, if a dir was requested.
-func writeCSV(dir, name string, write func(io.Writer) error) {
+func writeCSV(dir, name string, write func(io.Writer) error) error {
 	if dir == "" {
-		return
+		return nil
 	}
 	path := filepath.Join(dir, name)
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := write(f); err != nil {
 		f.Close()
-		fatal(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("CSV written to %s\n\n", path)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,6 +1,7 @@
 package distinct
 
 import (
+	"context"
 	"io"
 
 	"distinct/internal/cluster"
@@ -173,7 +174,14 @@ type Engine struct {
 // modified. Call Train before Disambiguate for learned path weights;
 // without Train the engine runs with uniform weights.
 func Open(db *Database, cfg Config) (*Engine, error) {
-	inner, err := core.NewEngine(db, core.Config{
+	return OpenCtx(context.Background(), db, cfg)
+}
+
+// OpenCtx is Open under a context: the expand and enumerate stages observe
+// cancellation at their boundaries and return the context's error wrapped
+// with the stage name (errors.Is sees context.Canceled/DeadlineExceeded).
+func OpenCtx(ctx context.Context, db *Database, cfg Config) (*Engine, error) {
+	inner, err := core.NewEngineCtx(ctx, db, core.Config{
 		RefRelation: cfg.RefRelation,
 		RefAttr:     cfg.RefAttr,
 		SkipExpand:  cfg.SkipExpand,
@@ -198,11 +206,27 @@ func Open(db *Database, cfg Config) (*Engine, error) {
 // which case the report is informational and uniform weights remain).
 func (e *Engine) Train() (*TrainReport, error) { return e.inner.Train() }
 
+// TrainCtx is Train under a context: cancellation is observed at every
+// training stage boundary, between feature-extraction items, and between
+// SVM optimisation passes, returning the context's error wrapped with the
+// stage that observed it.
+func (e *Engine) TrainCtx(ctx context.Context) (*TrainReport, error) {
+	return e.inner.TrainCtx(ctx)
+}
+
 // Disambiguate splits the references carrying name into groups, one group
 // per inferred real object. The returned tuple IDs belong to the engine's
 // expanded database, accessible via DB.
 func (e *Engine) Disambiguate(name string) ([][]TupleID, error) {
 	return e.inner.DisambiguateName(name)
+}
+
+// DisambiguateCtx is Disambiguate under a context: cancellation is observed
+// between similarity rows, between clustering merges, and at every stage
+// boundary, with latency bounded by one chunk of work. The returned error
+// wraps context.Canceled / context.DeadlineExceeded with the stage name.
+func (e *Engine) DisambiguateCtx(ctx context.Context, name string) ([][]TupleID, error) {
+	return e.inner.DisambiguateNameCtx(ctx, name)
 }
 
 // DisambiguateRefs clusters an explicit set of references (expanded-DB IDs).
@@ -243,14 +267,47 @@ func (e *Engine) SetWeights(resem, walk []float64) error {
 // NameGroups is the disambiguation outcome for one name in a batch pass.
 type NameGroups = core.NameGroups
 
-// BatchResult summarises a whole-database disambiguation pass.
+// BatchResult summarises a whole-database disambiguation pass, including
+// the explicit partial-results contract: names that timed out, degraded, or
+// panicked are recorded in Incidents — never dropped silently.
 type BatchResult = core.BatchResult
+
+// BatchOptions configures DisambiguateAllCtx: the minimum reference count,
+// the per-name budget, and the degraded retry's path cap.
+type BatchOptions = core.BatchOptions
+
+// Incident records one name a batch sweep could not process normally:
+// which stage failed, why (timeout / degraded / panic / error), and how
+// long the name ran.
+type Incident = core.Incident
+
+// IncidentReason classifies a batch incident.
+type IncidentReason = core.IncidentReason
+
+// Batch incident reasons (see the core package for full semantics).
+const (
+	IncidentTimeout  = core.IncidentTimeout
+	IncidentDegraded = core.IncidentDegraded
+	IncidentPanic    = core.IncidentPanic
+	IncidentError    = core.IncidentError
+)
 
 // DisambiguateAll runs DISTINCT over every name carrying at least minRefs
 // references and reports the names whose references split into more than
 // one group — the suspected homonyms in the whole database.
 func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
 	return e.inner.DisambiguateAll(minRefs)
+}
+
+// DisambiguateAllCtx is DisambiguateAll under a context and per-name
+// budgets. A name that blows its BatchOptions.NameTimeout budget is retried
+// once in a cheaper degraded mode (top-k join paths by learned weight) and,
+// if still over budget, kept as one conservative group; every such name is
+// recorded in BatchResult.Incidents. When ctx itself ends, the partial
+// BatchResult covering the names completed so far is returned alongside the
+// stage-wrapped context error.
+func (e *Engine) DisambiguateAllCtx(ctx context.Context, opts BatchOptions) (*BatchResult, error) {
+	return e.inner.DisambiguateAllCtx(ctx, opts)
 }
 
 // TuneResult reports a min-sim auto-tuning run.

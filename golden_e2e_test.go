@@ -68,6 +68,12 @@ func goldenRun(t *testing.T) goldenE2E {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The clean path must be incident-free: no timeouts, degradations, or
+	// recovered panics — and thus no batch.incident* counters either (the
+	// counter comparison below would flag them as unrecorded additions).
+	if len(res.Incidents) != 0 {
+		t.Fatalf("clean run produced %d incidents, first: %+v", len(res.Incidents), res.Incidents[0])
+	}
 
 	got := goldenE2E{
 		NamesExamined: res.NamesExamined,

@@ -60,11 +60,31 @@ func tracedRun(t *testing.T, minRefs int) (*distinct.Trace, *distinct.Registry) 
 	if _, err := eng.Train(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.DisambiguateAll(minRefs); err != nil {
+	res, err := eng.DisambiguateAll(minRefs)
+	if err != nil {
 		t.Fatal(err)
+	}
+	// The clean path must be incident-free; countIncidentEvents asserts the
+	// same about the trace the run produced.
+	if len(res.Incidents) != 0 {
+		t.Fatalf("clean run produced %d incidents, first: %+v", len(res.Incidents), res.Incidents[0])
 	}
 	tr.Finish()
 	return tr, reg
+}
+
+// countIncidentEvents walks a normalized tree counting "incident" events.
+func countIncidentEvents(n *normSpan) int {
+	total := 0
+	for _, ev := range n.Events {
+		if ev == "incident" || strings.HasPrefix(ev, "incident ") {
+			total++
+		}
+	}
+	for _, c := range n.Children {
+		total += countIncidentEvents(c)
+	}
+	return total
 }
 
 // normSpan is the committed shape of one span: name, stable attributes, the
@@ -141,6 +161,9 @@ func TestGoldenTrace(t *testing.T) {
 	// every one still exercising blocks → similarities → cluster spans.
 	tr, _ := tracedRun(t, 120)
 	got := normalize(tr.Tree())
+	if n := countIncidentEvents(got); n != 0 {
+		t.Errorf("clean run recorded %d incident trace events, want 0", n)
+	}
 
 	b, err := json.MarshalIndent(got, "", "  ")
 	if err != nil {

@@ -24,6 +24,7 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -168,12 +169,27 @@ func Agglomerate(n int, ps PairSim, opts Options) [][]int {
 	return out
 }
 
+// AgglomerateCtx is Agglomerate under a context: cancellation is observed
+// between heap-build rows and between merge iterations, so a pathological
+// block aborts with latency bounded by one row / one merge step.
+func AgglomerateCtx(ctx context.Context, n int, ps PairSim, opts Options) ([][]int, error) {
+	out, _, err := AgglomerateTraceCtx(ctx, n, ps, opts, false)
+	return out, err
+}
+
 // AgglomerateTrace is Agglomerate that also returns the merge trace when
 // withTrace is set (tracing copies member slices, so it costs O(n²) extra
 // in the worst case).
 func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int, []Merge) {
+	out, mergeLog, _ := AgglomerateTraceCtx(context.Background(), n, ps, opts, withTrace)
+	return out, mergeLog
+}
+
+// AgglomerateTraceCtx is AgglomerateTrace under a context (see
+// AgglomerateCtx for where cancellation is observed).
+func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, withTrace bool) ([][]int, []Merge, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	var merges, pruned int64 // posted to opts.Obs once per run
 	var mergeLog []Merge
@@ -190,6 +206,9 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 	stats := make(map[[2]int]pairStats, n*(n-1)/2)
 	h := make(candidateHeap, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		for j := i + 1; j < n; j++ {
 			r := ps.Resem(i, j)
 			st := pairStats{
@@ -210,6 +229,9 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 	heap.Init(&h)
 
 	for h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		c := heap.Pop(&h).(candidate)
 		if !clusters[c.a].alive || !clusters[c.b].alive {
 			continue // stale entry for a merged-away cluster
@@ -292,7 +314,7 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 			trace.Float("best_rejected_sim", bestRejected),
 			trace.Float("gap", gap))
 	}
-	return out, mergeLog
+	return out, mergeLog, nil
 }
 
 // orient returns the canonical (low, high) key for a cluster pair.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +11,7 @@ import (
 
 	"distinct/internal/cluster"
 	"distinct/internal/eval"
+	"distinct/internal/fault"
 	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
 	"distinct/internal/trainset"
@@ -20,14 +23,74 @@ type NameGroups struct {
 	Groups [][]reldb.TupleID
 }
 
+// IncidentReason classifies why a name landed in BatchResult.Incidents.
+type IncidentReason string
+
+const (
+	// IncidentTimeout: the name blew its per-name budget and could not be
+	// completed by the degraded retry either; its references were kept as
+	// one conservative group.
+	IncidentTimeout IncidentReason = "timeout"
+	// IncidentDegraded: the name blew its budget once but completed within
+	// a fresh budget in degraded mode (top-k join paths by learned weight).
+	// Its groups are real output — just computed under the reduced path set.
+	IncidentDegraded IncidentReason = "degraded"
+	// IncidentPanic: disambiguating the name panicked; the panic was
+	// recovered (stack captured in Err) and the references kept as one
+	// conservative group. The process never dies from one bad block.
+	IncidentPanic IncidentReason = "panic"
+	// IncidentError: a non-cancellation error (e.g. an injected fault)
+	// failed the name; its references were kept as one conservative group.
+	IncidentError IncidentReason = "error"
+)
+
+// Incident records one name the batch sweep could not process normally.
+// Nothing is ever dropped silently: a name either disambiguates cleanly,
+// or appears here with the stage that failed, why, and how long it ran.
+type Incident struct {
+	Name    string
+	Stage   string // pipeline stage that observed the failure ("" if unknown)
+	Reason  IncidentReason
+	Err     string // underlying error text
+	Elapsed time.Duration
+}
+
 // BatchResult summarises a whole-database disambiguation pass.
+//
+// Partial-results contract: on a clean run Incidents is empty and
+// NamesExamined counts every eligible name. When per-name budgets fire,
+// every over-budget name still appears — degraded or as a conservative
+// single group — with an Incidents entry. When the parent context ends
+// mid-batch, DisambiguateAllCtx returns the error alongside a BatchResult
+// covering exactly the names that completed before the cut.
 type BatchResult struct {
-	// NamesExamined counts the names with at least minRefs references.
+	// NamesExamined counts the names (with at least minRefs references)
+	// whose disambiguation completed — all of them on a clean run, fewer
+	// when the parent context ended mid-batch.
 	NamesExamined int
 	// Split lists the names whose references were split into more than one
 	// group — the suspected homonyms — sorted by group count descending,
 	// then by name.
 	Split []NameGroups
+	// Incidents lists the names that timed out, degraded, panicked, or
+	// failed, in work-list order.
+	Incidents []Incident
+}
+
+// BatchOptions configures DisambiguateAllCtx.
+type BatchOptions struct {
+	// MinRefs is the minimum reference count for a name to be examined;
+	// below 2 it is treated as 2 (a single reference cannot split).
+	MinRefs int
+	// NameTimeout, when positive, is the per-name budget. A name that blows
+	// it is retried once in degraded mode under a fresh budget, and if
+	// still over budget is recorded as an incident with its references kept
+	// as one group. Zero means no per-name budget (the parent context still
+	// applies).
+	NameTimeout time.Duration
+	// DegradedPaths is how many of the strongest join paths the degraded
+	// retry keeps; 0 means DefaultDegradedPaths.
+	DegradedPaths int
 }
 
 // DisambiguateAll runs DISTINCT over every name with at least minRefs
@@ -37,8 +100,21 @@ type BatchResult struct {
 //
 // minRefs below 2 is treated as 2 (a single reference cannot split).
 func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
+	return e.DisambiguateAllCtx(context.Background(), BatchOptions{MinRefs: minRefs})
+}
+
+// DisambiguateAllCtx is DisambiguateAll under a context and per-name
+// budgets (see BatchOptions and the BatchResult partial-results contract).
+// Cancellation of ctx is observed between names and between chunks inside
+// each name's stages; the returned error is wrapped with the stage that
+// observed it, and the partial BatchResult is still returned.
+func (e *Engine) DisambiguateAllCtx(ctx context.Context, opts BatchOptions) (*BatchResult, error) {
+	minRefs := opts.MinRefs
 	if minRefs < 2 {
 		minRefs = 2
+	}
+	if err := checkStage(ctx, "batch"); err != nil {
+		return nil, err
 	}
 	rs := e.db.Schema.Relation(e.cfg.RefRelation)
 	ai := rs.AttrIndex(e.cfg.RefAttr)
@@ -64,7 +140,9 @@ func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
 		jobs = append(jobs, job{name: name, refs: refs})
 		allRefs = append(allRefs, refs...)
 	}
-	e.ext.PrefetchSpan(allRefs, e.cfg.Workers, e.root())
+	if err := e.ext.PrefetchCtx(ctx, allRefs, e.cfg.Workers, e.root()); err != nil {
+		return nil, stageErr("prefetch", err)
+	}
 
 	sp := e.obs.StartStage("batch")
 	// One "batch" span with one child span per name. Per-name spans are
@@ -76,37 +154,151 @@ func (e *Engine) DisambiguateAll(minRefs int) (*BatchResult, error) {
 	// a disabled registry costs nothing per name.
 	latency := e.obs.Histogram("batch.name_seconds", nil)
 	results := make([][][]reldb.TupleID, len(jobs))
-	parallelFor(len(jobs), e.cfg.Workers, func(i int) {
-		nsp := bsp.Start(trace.NameSpanPrefix+jobs[i].name,
-			trace.Int("refs", int64(len(jobs[i].refs))))
-		if latency != nil {
-			t0 := time.Now()
-			results[i] = e.disambiguateRefsAt(nsp, jobs[i].refs)
-			latency.ObserveDuration(time.Since(t0))
-		} else {
-			results[i] = e.disambiguateRefsAt(nsp, jobs[i].refs)
+	incidents := make([]*Incident, len(jobs))
+	// done[i] flips only after results[i]/incidents[i] are final; the
+	// exactly-once index ownership of parallelForCtx plus its WaitGroup give
+	// the happens-before edge, so no extra locking is needed.
+	done := make([]bool, len(jobs))
+
+	// attempt runs one disambiguation under eng (the full engine or its
+	// degraded view), converting a panic anywhere in the name's stages into
+	// a *fault.PanicError instead of killing the batch.
+	attempt := func(eng *Engine, nctx context.Context, nsp *trace.Span, refs []reldb.TupleID) (groups [][]reldb.TupleID, err error) {
+		err = guard(func() error {
+			var aerr error
+			groups, aerr = eng.disambiguateRefsCtxAt(nctx, nsp, refs)
+			return aerr
+		})
+		return groups, err
+	}
+	withBudget := func() (context.Context, context.CancelFunc) {
+		if opts.NameTimeout > 0 {
+			return context.WithTimeout(ctx, opts.NameTimeout)
 		}
-		nsp.SetAttrs(trace.Int("groups", int64(len(results[i]))))
-		nsp.End()
+		return ctx, func() {}
+	}
+
+	batchErr := parallelForCtx(ctx, len(jobs), e.cfg.Workers, func(i int) error {
+		name, refs := jobs[i].name, jobs[i].refs
+		nsp := bsp.Start(trace.NameSpanPrefix+name, trace.Int("refs", int64(len(refs))))
+		t0 := time.Now()
+		finish := func(groups [][]reldb.TupleID, inc *Incident) {
+			results[i] = groups
+			if inc != nil {
+				inc.Elapsed = time.Since(t0)
+				incidents[i] = inc
+				nsp.Event("incident",
+					trace.String("reason", string(inc.Reason)),
+					trace.String("stage", inc.Stage),
+					trace.String("err", inc.Err))
+			}
+			done[i] = true
+			if latency != nil {
+				latency.ObserveDuration(time.Since(t0))
+			}
+			nsp.SetAttrs(trace.Int("groups", int64(len(groups))))
+			nsp.End()
+		}
+
+		nctx, cancel := withBudget()
+		groups, err := attempt(e, nctx, nsp, refs)
+		cancel()
+		if err == nil {
+			finish(groups, nil)
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The parent context ended: not a per-name incident. Stop the
+			// batch; the caller gets the partial result plus the error.
+			nsp.End()
+			return err
+		}
+		stage := incidentStage(err)
+		var pe *fault.PanicError
+		switch {
+		case errors.As(err, &pe):
+			finish(singleGroup(refs), &Incident{
+				Name: name, Stage: stage, Reason: IncidentPanic, Err: pe.Error()})
+		case errors.Is(err, context.DeadlineExceeded):
+			// Per-name budget blown: retry once in degraded mode under a
+			// fresh budget (when the path set can actually be cut).
+			if de := e.degraded(opts.DegradedPaths); de != e {
+				nctx, cancel = withBudget()
+				groups, derr := attempt(de, nctx, nsp, refs)
+				cancel()
+				if derr == nil {
+					finish(groups, &Incident{
+						Name: name, Stage: stage, Reason: IncidentDegraded, Err: err.Error()})
+					return nil
+				}
+				if ctx.Err() != nil {
+					nsp.End()
+					return derr
+				}
+				if errors.As(derr, &pe) {
+					finish(singleGroup(refs), &Incident{
+						Name: name, Stage: incidentStage(derr), Reason: IncidentPanic, Err: pe.Error()})
+					return nil
+				}
+				err, stage = derr, incidentStage(derr)
+			}
+			finish(singleGroup(refs), &Incident{
+				Name: name, Stage: stage, Reason: IncidentTimeout, Err: err.Error()})
+		default:
+			finish(singleGroup(refs), &Incident{
+				Name: name, Stage: stage, Reason: IncidentError, Err: err.Error()})
+		}
+		return nil
 	})
-	sp.End(len(jobs))
+
+	completed := 0
+	for _, d := range done {
+		if d {
+			completed++
+		}
+	}
+	sp.End(completed)
 	bsp.End()
 
-	res := &BatchResult{NamesExamined: len(jobs)}
+	res := &BatchResult{NamesExamined: completed}
 	for i, j := range jobs {
+		if !done[i] {
+			continue
+		}
+		if incidents[i] != nil {
+			res.Incidents = append(res.Incidents, *incidents[i])
+		}
 		if len(results[i]) > 1 {
 			res.Split = append(res.Split, NameGroups{Name: j.name, Groups: results[i]})
 		}
 	}
 	e.obs.Counter("batch.names_examined").Add(int64(res.NamesExamined))
 	e.obs.Counter("batch.names_split").Add(int64(len(res.Split)))
+	// Incident counters appear only when incidents happen, so a clean run's
+	// counter set stays bit-identical to the pre-resilience goldens.
+	if len(res.Incidents) > 0 {
+		e.obs.Counter("batch.incidents").Add(int64(len(res.Incidents)))
+		for _, inc := range res.Incidents {
+			e.obs.Counter("batch.incident_" + string(inc.Reason)).Inc()
+		}
+	}
 	sort.Slice(res.Split, func(i, j int) bool {
 		if len(res.Split[i].Groups) != len(res.Split[j].Groups) {
 			return len(res.Split[i].Groups) > len(res.Split[j].Groups)
 		}
 		return res.Split[i].Name < res.Split[j].Name
 	})
+	if batchErr != nil {
+		return res, stageErr("batch", batchErr)
+	}
 	return res, nil
+}
+
+// singleGroup is the conservative fallback for a name the batch could not
+// disambiguate: all its references in one group — never listed as split,
+// never dropped.
+func singleGroup(refs []reldb.TupleID) [][]reldb.TupleID {
+	return [][]reldb.TupleID{append([]reldb.TupleID(nil), refs...)}
 }
 
 // TuneResult reports a min-sim auto-tuning run.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"distinct/internal/obs/trace"
@@ -49,15 +50,24 @@ func (u *unionFind) union(a, b int) {
 // resemblance or walk weight. Each block lists indexes into refs, blocks
 // ordered by smallest member, members ascending.
 func (e *Engine) blocks(refs []reldb.TupleID) [][]int {
-	return e.blocksAt(nil, refs)
+	out, err := e.blocksCtxAt(context.Background(), nil, refs)
+	rethrow(err)
+	return out
 }
 
-// blocksAt is blocks with the stage span parented under parent.
-func (e *Engine) blocksAt(parent *trace.Span, refs []reldb.TupleID) [][]int {
+// blocksCtxAt is blocks with the stage span parented under parent and
+// cancellation observed at the stage boundary and during prefetch.
+func (e *Engine) blocksCtxAt(ctx context.Context, parent *trace.Span, refs []reldb.TupleID) ([][]int, error) {
+	if err := checkStage(ctx, "blocks"); err != nil {
+		return nil, err
+	}
 	sp := e.obs.StartStage("blocks")
 	tsp := parent.Start("blocks", trace.Int("refs", int64(len(refs))))
 	defer func() { sp.End(len(refs)) }()
-	e.ext.PrefetchSpan(refs, e.cfg.Workers, tsp)
+	if err := e.ext.PrefetchCtx(ctx, refs, e.cfg.Workers, tsp); err != nil {
+		tsp.End()
+		return nil, stageErr("prefetch", err)
+	}
 	uf := newUnionFind(len(refs))
 	// Inverted index: (path, neighbor tuple) -> first reference seen with
 	// it; later references union with the first.
@@ -110,20 +120,25 @@ func (e *Engine) blocksAt(parent *trace.Span, refs []reldb.TupleID) [][]int {
 	}
 	tsp.SetAttrs(trace.Int("blocks", int64(len(out))))
 	tsp.End()
-	return out
+	return out, nil
 }
 
 // disambiguateBlocked clusters each block independently; exact for
 // MinSim > 0 (see the comment above). Output clusters are ordered by their
 // smallest reference position, matching the unblocked path bit for bit.
 func (e *Engine) disambiguateBlocked(refs []reldb.TupleID) [][]reldb.TupleID {
-	return e.disambiguateBlockedAt(nil, refs)
+	groups, err := e.disambiguateBlockedCtxAt(context.Background(), nil, refs)
+	rethrow(err)
+	return groups
 }
 
-// disambiguateBlockedAt is disambiguateBlocked with stage spans parented
-// under parent.
-func (e *Engine) disambiguateBlockedAt(parent *trace.Span, refs []reldb.TupleID) [][]reldb.TupleID {
-	blocks := e.blocksAt(parent, refs)
+// disambiguateBlockedCtxAt is disambiguateBlocked with stage spans parented
+// under parent and cancellation observed between blocks.
+func (e *Engine) disambiguateBlockedCtxAt(ctx context.Context, parent *trace.Span, refs []reldb.TupleID) ([][]reldb.TupleID, error) {
+	blocks, err := e.blocksCtxAt(ctx, parent, refs)
+	if err != nil {
+		return nil, err
+	}
 	pos := make(map[reldb.TupleID]int, len(refs))
 	for i, r := range refs {
 		if _, dup := pos[r]; !dup {
@@ -144,7 +159,13 @@ func (e *Engine) disambiguateBlockedAt(parent *trace.Span, refs []reldb.TupleID)
 		if len(sub) == 1 {
 			clusters = [][]reldb.TupleID{sub}
 		} else {
-			clusters = e.clusterRefsAt(parent, sub, e.similaritiesAt(parent, sub))
+			m, err := e.similaritiesCtxAt(ctx, parent, sub)
+			if err != nil {
+				return nil, err
+			}
+			if clusters, err = e.clusterRefsCtxAt(ctx, parent, sub, m); err != nil {
+				return nil, err
+			}
 		}
 		for _, c := range clusters {
 			all = append(all, ordered{at: pos[c[0]], cluster: c})
@@ -155,5 +176,5 @@ func (e *Engine) disambiguateBlockedAt(parent *trace.Span, refs []reldb.TupleID)
 	for i, o := range all {
 		out[i] = o.cluster
 	}
-	return out
+	return out, nil
 }

@@ -17,14 +17,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"distinct/internal/cluster"
+	"distinct/internal/fault"
 	"distinct/internal/obs"
 	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
@@ -161,6 +161,13 @@ func (e *Engine) SetTrace(tr *trace.Trace) { e.tr = tr }
 // uniform path weights (call Train to replace them with learned weights).
 // The input database is not modified.
 func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
+	return NewEngineCtx(context.Background(), db, cfg)
+}
+
+// NewEngineCtx is NewEngine under a context: the expand and enumerate
+// stages observe cancellation at their boundaries and return the context's
+// error wrapped with the stage name.
+func NewEngineCtx(ctx context.Context, db *reldb.Database, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	rs := db.Schema.Relation(cfg.RefRelation)
 	if rs == nil {
@@ -174,6 +181,9 @@ func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: reference attribute %s.%s must be a foreign key to the name relation", cfg.RefRelation, cfg.RefAttr)
 	}
 
+	if err := checkStage(ctx, "expand"); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	sp := cfg.Obs.StartStage("expand")
 	tsp := cfg.Trace.Start("expand")
@@ -186,6 +196,9 @@ func NewEngine(db *reldb.Database, cfg Config) (*Engine, error) {
 	tsp.End()
 	expandDur := time.Since(t0)
 
+	if err := checkStage(ctx, "enumerate"); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	sp = cfg.Obs.StartStage("enumerate")
 	tsp = cfg.Trace.Start("enumerate")
@@ -305,7 +318,18 @@ func normalize(w []float64) []float64 {
 // engine's configuration is unsupervised, Train still reports the would-be
 // models but leaves uniform weights in place.
 func (e *Engine) Train() (*TrainReport, error) {
+	return e.TrainCtx(context.Background())
+}
+
+// TrainCtx is Train under a context: cancellation is observed at the
+// trainset / features / train_svm stage boundaries, between feature
+// extraction items, and between SVM optimisation passes, and returns the
+// context's error wrapped with the stage name.
+func (e *Engine) TrainCtx(ctx context.Context) (*TrainReport, error) {
 	total := time.Now()
+	if err := checkStage(ctx, "trainset"); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	sp := e.obs.StartStage("trainset")
 	tsp := e.root().Start("trainset")
@@ -323,6 +347,9 @@ func (e *Engine) Train() (*TrainReport, error) {
 	e.obs.Counter("trainset.negative").Add(int64(ts.NumNegative))
 	e.timings.TrainSet = time.Since(t0)
 
+	if err := checkStage(ctx, "features"); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	sp = e.obs.StartStage("features")
 	tsp = e.root().Start("features", trace.Int("pairs", int64(len(ts.Pairs))))
@@ -330,14 +357,22 @@ func (e *Engine) Train() (*TrainReport, error) {
 	for _, p := range ts.Pairs {
 		refs = append(refs, p.R1, p.R2)
 	}
-	e.ext.PrefetchSpan(refs, e.cfg.Workers, tsp)
+	if err := e.ext.PrefetchCtx(ctx, refs, e.cfg.Workers, tsp); err != nil {
+		tsp.End()
+		return nil, stageErr("prefetch", err)
+	}
 	resemEx := make([]svm.Example, len(ts.Pairs))
 	walkEx := make([]svm.Example, len(ts.Pairs))
-	parallelFor(len(ts.Pairs), e.cfg.Workers, func(i int) {
+	err = parallelForCtx(ctx, len(ts.Pairs), e.cfg.Workers, func(i int) error {
 		p := ts.Pairs[i]
 		resemEx[i] = svm.Example{X: e.ext.ResemVector(p.R1, p.R2), Y: p.Label}
 		walkEx[i] = svm.Example{X: e.ext.WalkVector(p.R1, p.R2), Y: p.Label}
+		return nil
 	})
+	if err != nil {
+		tsp.End()
+		return nil, stageErr("features", err)
+	}
 	sp.End(len(ts.Pairs))
 	tsp.End()
 	e.timings.Features = time.Since(t0)
@@ -345,6 +380,9 @@ func (e *Engine) Train() (*TrainReport, error) {
 	// Per-path similarities span orders of magnitude; scale each feature to
 	// [0,1] for training, then fold the scale factors back into the weights
 	// so they apply to raw similarities at clustering time.
+	if err := checkStage(ctx, "train_svm"); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	sp = e.obs.StartStage("train_svm")
 	tsp = e.root().Start("train_svm", trace.Int("paths", int64(len(e.paths))))
@@ -352,13 +390,15 @@ func (e *Engine) Train() (*TrainReport, error) {
 	walkScaler := svm.FitScaler(walkEx)
 	resemScaled := resemScaler.Transform(resemEx)
 	walkScaled := walkScaler.Transform(walkEx)
-	resemModel, err := svm.TrainDCD(resemScaled, e.cfg.SVM)
+	resemModel, err := svm.TrainDCDCtx(ctx, resemScaled, e.cfg.SVM)
 	if err != nil {
-		return nil, fmt.Errorf("core: resemblance SVM: %w", err)
+		tsp.End()
+		return nil, stageErr("train_svm", fmt.Errorf("resemblance SVM: %w", err))
 	}
-	walkModel, err := svm.TrainDCD(walkScaled, e.cfg.SVM)
+	walkModel, err := svm.TrainDCDCtx(ctx, walkScaled, e.cfg.SVM)
 	if err != nil {
-		return nil, fmt.Errorf("core: walk SVM: %w", err)
+		tsp.End()
+		return nil, stageErr("train_svm", fmt.Errorf("walk SVM: %w", err))
 	}
 	sp.End(2 * len(ts.Pairs))
 	e.timings.TrainSVM = time.Since(t0)
@@ -457,12 +497,23 @@ func (pm *PathMatrices) NumRefs() int {
 // under Config.Workers. For each (i,j) pair one fused merge-scan per path
 // yields the resemblance and both directed walk probabilities at once.
 func (e *Engine) PathSimilarities(refs []reldb.TupleID) *PathMatrices {
-	return e.pathSimilaritiesAt(e.root(), refs)
+	pm, err := e.pathSimilaritiesCtxAt(context.Background(), e.root(), refs)
+	rethrow(err)
+	return pm
 }
 
-// pathSimilaritiesAt is PathSimilarities with the stage span parented under
-// parent (nil parent: tracing off or disabled for this call).
-func (e *Engine) pathSimilaritiesAt(parent *trace.Span, refs []reldb.TupleID) *PathMatrices {
+// PathSimilaritiesCtx is PathSimilarities under a context: cancellation is
+// observed at the stage boundary and between pairwise rows.
+func (e *Engine) PathSimilaritiesCtx(ctx context.Context, refs []reldb.TupleID) (*PathMatrices, error) {
+	return e.pathSimilaritiesCtxAt(ctx, e.root(), refs)
+}
+
+// pathSimilaritiesCtxAt is PathSimilaritiesCtx with the stage span parented
+// under parent (nil parent: tracing off or disabled for this call).
+func (e *Engine) pathSimilaritiesCtxAt(ctx context.Context, parent *trace.Span, refs []reldb.TupleID) (*PathMatrices, error) {
+	if err := checkStage(ctx, "path_sims"); err != nil {
+		return nil, err
+	}
 	n := len(refs)
 	np := len(e.paths)
 	sp := e.obs.StartStage("path_sims")
@@ -470,11 +521,13 @@ func (e *Engine) pathSimilaritiesAt(parent *trace.Span, refs []reldb.TupleID) *P
 		trace.Int("refs", int64(n)), trace.Int("pairs", int64(n*(n-1)/2)))
 	defer func() { sp.End(n * (n - 1) / 2); tsp.End() }()
 	pm := NewPathMatrices(np, n)
-	e.ext.PrefetchSpan(refs, e.cfg.Workers, tsp)
+	if err := e.ext.PrefetchCtx(ctx, refs, e.cfg.Workers, tsp); err != nil {
+		return nil, stageErr("prefetch", err)
+	}
 	nn := n * n
 	// Row i fills entries (i,j) and (j,i) for j > i: every matrix cell is
 	// written by exactly one row worker, so rows can run concurrently.
-	parallelFor(n, e.cfg.Workers, func(i int) {
+	err := parallelForCtx(ctx, n, e.cfg.Workers, func(i int) error {
 		ni := e.ext.Neighborhoods(refs[i])
 		for j := i + 1; j < n; j++ {
 			nj := e.ext.Neighborhoods(refs[j])
@@ -486,8 +539,12 @@ func (e *Engine) pathSimilaritiesAt(parent *trace.Span, refs []reldb.TupleID) *P
 				pm.WFlat[base+j*n+i] = wji
 			}
 		}
+		return nil
 	})
-	return pm
+	if err != nil {
+		return nil, stageErr("path_sims", err)
+	}
+	return pm, nil
 }
 
 // Combine folds per-path matrices into one similarity matrix under the
@@ -526,21 +583,29 @@ func Combine(pm *PathMatrices, resemW, walkW []float64) cluster.Matrix {
 // the engine's current weights: R[i][j] is the weighted set resemblance,
 // W[i][j] the weighted directed walk probability from i to j.
 func (e *Engine) Similarities(refs []reldb.TupleID) cluster.Matrix {
-	return e.similaritiesAt(e.root(), refs)
+	m, err := e.similaritiesCtxAt(context.Background(), e.root(), refs)
+	rethrow(err)
+	return m
 }
 
-// similaritiesAt is Similarities with the stage span parented under parent.
-// When the trace was built with SamplePairEvery, every Nth pair (by
-// triangular pair index — deterministic, no RNG) gets a "pair" event with
-// its Explain-style per-path breakdown attached to the stage span.
-func (e *Engine) similaritiesAt(parent *trace.Span, refs []reldb.TupleID) cluster.Matrix {
+// similaritiesCtxAt is Similarities with the stage span parented under
+// parent and cancellation observed between pairwise rows. When the trace
+// was built with SamplePairEvery, every Nth pair (by triangular pair index
+// — deterministic, no RNG) gets a "pair" event with its Explain-style
+// per-path breakdown attached to the stage span.
+func (e *Engine) similaritiesCtxAt(ctx context.Context, parent *trace.Span, refs []reldb.TupleID) (cluster.Matrix, error) {
+	if err := checkStage(ctx, "similarities"); err != nil {
+		return cluster.Matrix{}, err
+	}
 	n := len(refs)
 	sp := e.obs.StartStage("similarities")
 	tsp := parent.Start("similarities",
 		trace.Int("refs", int64(n)), trace.Int("pairs", int64(n*(n-1)/2)))
 	defer func() { sp.End(n * (n - 1) / 2); tsp.End() }()
 	m := cluster.NewMatrix(n)
-	e.ext.PrefetchSpan(refs, e.cfg.Workers, tsp)
+	if err := e.ext.PrefetchCtx(ctx, refs, e.cfg.Workers, tsp); err != nil {
+		return cluster.Matrix{}, stageErr("prefetch", err)
+	}
 
 	sampleEvery := 0
 	if tsp != nil {
@@ -548,8 +613,16 @@ func (e *Engine) similaritiesAt(parent *trace.Span, refs []reldb.TupleID) cluste
 	}
 	var sampleMu sync.Mutex
 	var sampled []trace.Event
+	// Resolved once per stage: the per-row injection point below costs one
+	// nil check per row when fault injection is off.
+	freg := fault.From(ctx)
 
-	parallelFor(n, e.cfg.Workers, func(i int) {
+	err := parallelForCtx(ctx, n, e.cfg.Workers, func(i int) error {
+		if freg != nil {
+			if err := freg.Fire(ctx, "core.similarities.row"); err != nil {
+				return err
+			}
+		}
 		ni := e.ext.Neighborhoods(refs[i])
 		// rowBase is the triangular index of pair (i, i+1); pair (i, j) has
 		// index rowBase + (j - i - 1). The index is a pure function of
@@ -592,7 +665,11 @@ func (e *Engine) similaritiesAt(parent *trace.Span, refs []reldb.TupleID) cluste
 				sampleMu.Unlock()
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return cluster.Matrix{}, stageErr("similarities", err)
+	}
 	if len(sampled) > 0 {
 		// Workers append in nondeterministic order; sort by (i, j) so the
 		// attached provenance is reproducible run to run.
@@ -606,40 +683,7 @@ func (e *Engine) similaritiesAt(parent *trace.Span, refs []reldb.TupleID) cluste
 		})
 		tsp.EventAll(sampled)
 	}
-	return m
-}
-
-// parallelFor runs body(i) for i in [0,n) on `workers` goroutines
-// (0 = GOMAXPROCS). body must write only to per-index state.
-func parallelFor(n, workers int, body func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				body(i)
-			}
-		}()
-	}
-	wg.Wait()
+	return m, nil
 }
 
 // ClusterMatrix clusters n references given a precombined similarity matrix
@@ -652,21 +696,31 @@ func ClusterMatrix(refs []reldb.TupleID, m cluster.Matrix, measure cluster.Measu
 // clusterRefs is ClusterMatrix under the engine's own measure, threshold,
 // and observability registry, wrapped in a "cluster" stage span.
 func (e *Engine) clusterRefs(refs []reldb.TupleID, m cluster.Matrix) [][]reldb.TupleID {
-	return e.clusterRefsAt(e.root(), refs, m)
+	groups, err := e.clusterRefsCtxAt(context.Background(), e.root(), refs, m)
+	rethrow(err)
+	return groups
 }
 
-// clusterRefsAt is clusterRefs with the stage span parented under parent;
-// the clusterer receives the span and emits its merge and cut events there.
-func (e *Engine) clusterRefsAt(parent *trace.Span, refs []reldb.TupleID, m cluster.Matrix) [][]reldb.TupleID {
+// clusterRefsCtxAt is clusterRefs with the stage span parented under parent
+// and cancellation observed between merge iterations; the clusterer
+// receives the span and emits its merge and cut events there.
+func (e *Engine) clusterRefsCtxAt(ctx context.Context, parent *trace.Span, refs []reldb.TupleID, m cluster.Matrix) ([][]reldb.TupleID, error) {
+	if err := checkStage(ctx, "cluster"); err != nil {
+		return nil, err
+	}
 	sp := e.obs.StartStage("cluster")
 	tsp := parent.Start("cluster", trace.Int("refs", int64(len(refs))))
-	idx := cluster.Agglomerate(len(refs), m, cluster.Options{
+	idx, err := cluster.AgglomerateCtx(ctx, len(refs), m, cluster.Options{
 		Measure: e.cfg.Measure, MinSim: e.cfg.MinSim, Obs: e.obs, Span: tsp,
 	})
+	if err != nil {
+		tsp.End()
+		return nil, stageErr("cluster", err)
+	}
 	sp.End(len(refs))
 	tsp.SetAttrs(trace.Int("clusters", int64(len(idx))))
 	tsp.End()
-	return groupRefs(refs, idx)
+	return groupRefs(refs, idx), nil
 }
 
 // groupRefs maps clusters of row indexes back to reference IDs.
@@ -684,29 +738,48 @@ func groupRefs(refs []reldb.TupleID, idx [][]int) [][]reldb.TupleID {
 // DisambiguateRefs clusters the given references (expanded-database IDs)
 // and returns groups of reference IDs, one group per inferred real object.
 func (e *Engine) DisambiguateRefs(refs []reldb.TupleID) [][]reldb.TupleID {
-	return e.disambiguateRefsAt(e.root(), refs)
+	groups, err := e.disambiguateRefsCtxAt(context.Background(), e.root(), refs)
+	rethrow(err)
+	return groups
 }
 
-// disambiguateRefsAt is DisambiguateRefs with all stage spans parented
-// under parent (a per-name span during batch sweeps, the root otherwise).
-func (e *Engine) disambiguateRefsAt(parent *trace.Span, refs []reldb.TupleID) [][]reldb.TupleID {
+// DisambiguateRefsCtx is DisambiguateRefs under a context: cancellation
+// (and any injected fault) surfaces as an error wrapped with the stage
+// that observed it.
+func (e *Engine) DisambiguateRefsCtx(ctx context.Context, refs []reldb.TupleID) ([][]reldb.TupleID, error) {
+	return e.disambiguateRefsCtxAt(ctx, e.root(), refs)
+}
+
+// disambiguateRefsCtxAt is DisambiguateRefsCtx with all stage spans
+// parented under parent (a per-name span during batch sweeps, the root
+// otherwise).
+func (e *Engine) disambiguateRefsCtxAt(ctx context.Context, parent *trace.Span, refs []reldb.TupleID) ([][]reldb.TupleID, error) {
 	if len(refs) == 0 {
-		return nil
+		return nil, nil
 	}
 	// With a positive threshold, references in different shared-neighbor
 	// components can never merge, so clustering per component is exact and
 	// avoids the quadratic pairwise stage across components.
 	if e.cfg.MinSim > 0 {
-		return e.disambiguateBlockedAt(parent, refs)
+		return e.disambiguateBlockedCtxAt(ctx, parent, refs)
 	}
-	return e.clusterRefsAt(parent, refs, e.similaritiesAt(parent, refs))
+	m, err := e.similaritiesCtxAt(ctx, parent, refs)
+	if err != nil {
+		return nil, err
+	}
+	return e.clusterRefsCtxAt(ctx, parent, refs, m)
 }
 
 // DisambiguateName clusters every reference carrying the name.
 func (e *Engine) DisambiguateName(name string) ([][]reldb.TupleID, error) {
+	return e.DisambiguateNameCtx(context.Background(), name)
+}
+
+// DisambiguateNameCtx is DisambiguateName under a context.
+func (e *Engine) DisambiguateNameCtx(ctx context.Context, name string) ([][]reldb.TupleID, error) {
 	refs := e.RefsForName(name)
 	if len(refs) == 0 {
 		return nil, fmt.Errorf("core: no references named %q", name)
 	}
-	return e.DisambiguateRefs(refs), nil
+	return e.disambiguateRefsCtxAt(ctx, e.root(), refs)
 }

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"distinct/internal/fault"
 )
 
 // TestWorkersDoNotChangeResults: the engine must produce bit-identical
@@ -92,5 +97,92 @@ func TestParallelForMoreWorkersThanItems(t *testing.T) {
 				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
 			}
 		}
+	}
+}
+
+// TestParallelForCtxExactlyOnceUnderCancel: cancelling mid-iteration must
+// never run an index twice — claimed items finish, unclaimed items are
+// skipped, and the context error is returned.
+func TestParallelForCtxExactlyOnceUnderCancel(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 200
+		ctx, cancel := context.WithCancel(context.Background())
+		perIndex := make([]atomic.Int32, n)
+		err := parallelForCtx(ctx, n, workers, func(i int) error {
+			if c := perIndex[i].Add(1); c != 1 {
+				t.Errorf("workers=%d: index %d claimed %d times", workers, i, c)
+			}
+			if i == n/4 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		ran := 0
+		for i := range perIndex {
+			if c := perIndex[i].Load(); c > 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			} else if c == 1 {
+				ran++
+			}
+		}
+		if ran == 0 || ran >= n {
+			t.Errorf("workers=%d: %d of %d indices ran; want a proper partial sweep", workers, ran, n)
+		}
+	}
+}
+
+// TestParallelForCtxPanicRecovered: a panicking body must surface as a
+// *fault.PanicError with the worker's stack — not kill the process — and
+// stop further claims.
+func TestParallelForCtxPanicRecovered(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 50
+		err := parallelForCtx(context.Background(), n, workers, func(i int) error {
+			if i == 3 {
+				panic("chaos body panic")
+			}
+			return nil
+		})
+		var pe *fault.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *fault.PanicError", workers, err)
+		}
+		if pe.Value != "chaos body panic" || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: recovered %+v with %d stack bytes", workers, pe.Value, len(pe.Stack))
+		}
+	}
+	// The non-context wrapper re-raises with the worker stack attached.
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("parallelFor swallowed the panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "recovered worker stack") {
+			t.Fatalf("re-raised panic %v lacks the worker stack", v)
+		}
+	}()
+	parallelFor(4, 2, func(i int) {
+		if i == 1 {
+			panic("rethrown")
+		}
+	})
+}
+
+// TestParallelForCtxBodyErrorStops: the first body error is returned and
+// stops further claims without panicking.
+func TestParallelForCtxBodyErrorStops(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := parallelForCtx(context.Background(), 100, 4, func(i int) error {
+		if i == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the body's error", err)
 	}
 }

@@ -173,8 +173,14 @@ func TestTimingReports(t *testing.T) {
 
 func TestHarnessCaches(t *testing.T) {
 	h := newTestHarness(t)
-	a := h.PathSims("Wei Wang")
-	b := h.PathSims("Wei Wang")
+	a, err := h.PathSims("Wei Wang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.PathSims("Wei Wang")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Error("PathSims not cached")
 	}

@@ -129,7 +129,11 @@ func (h *Harness) autoGapRow() (Figure4Row, error) {
 	ms := make([]eval.Metrics, len(names))
 	for i, name := range names {
 		refs := h.refs[name]
-		m := core.Combine(h.PathSims(name), resemW, walkW)
+		pm, err := h.PathSims(name)
+		if err != nil {
+			return Figure4Row{}, err
+		}
+		m := core.Combine(pm, resemW, walkW)
 		idx := cluster.AgglomerateAuto(len(refs), m, cluster.Combined, cluster.DefaultGapRatio, h.Opts.MinSim)
 		pred := make(eval.Clustering, len(idx))
 		for ci, c := range idx {

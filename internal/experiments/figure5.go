@@ -61,7 +61,11 @@ func (h *Harness) Figure5(name string) (*Figure5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := core.Combine(h.PathSims(name), resemW, walkW)
+	pm, err := h.PathSims(name)
+	if err != nil {
+		return nil, err
+	}
+	m := core.Combine(pm, resemW, walkW)
 	pred := core.ClusterMatrix(refs, m, cluster.Combined, h.Opts.MinSim)
 
 	// Invert the expanded-DB mapping so ground truth can be read per ref.

@@ -16,7 +16,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"distinct/internal/cluster"
 	"distinct/internal/core"
@@ -52,6 +54,23 @@ type Options struct {
 	// Trace, when non-nil, records the engine's span tree and decision
 	// events (the -trace / -tracetree flags of cmd/experiments).
 	Trace *trace.Trace
+	// Ctx, when non-nil, bounds every pipeline call the harness makes
+	// (engine construction, training, per-name similarity matrices); nil
+	// means context.Background(). cmd/experiments cancels it on SIGINT and
+	// bounds it with -timeout.
+	Ctx context.Context
+	// NameTimeout, when positive, is the per-name budget on the similarity
+	// matrices PathSims computes — the dominant per-name cost here (the
+	// -name-timeout flag of cmd/experiments).
+	NameTimeout time.Duration
+}
+
+// ctx returns the run context (Background when none was configured).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultMinSimGrid spans four orders of magnitude around the useful range.
@@ -108,7 +127,7 @@ func NewHarness(opts Options) (*Harness, error) {
 func NewHarnessWorld(world *dblp.World, opts Options) (*Harness, error) {
 	opts = opts.withDefaults()
 	opts.World = world.Config
-	engine, err := core.NewEngine(world.DB, core.Config{
+	engine, err := core.NewEngineCtx(opts.ctx(), world.DB, core.Config{
 		RefRelation: dblp.ReferenceRelation,
 		RefAttr:     dblp.ReferenceAttr,
 		SkipExpand:  []string{dblp.TitleAttr},
@@ -154,7 +173,7 @@ func (h *Harness) Train() (*core.TrainReport, error) {
 	if h.trainReport != nil {
 		return h.trainReport, nil
 	}
-	rep, err := h.engine.Train()
+	rep, err := h.engine.TrainCtx(h.Opts.ctx())
 	if err != nil {
 		return nil, err
 	}
@@ -163,13 +182,23 @@ func (h *Harness) Train() (*core.TrainReport, error) {
 }
 
 // PathSims returns (and caches) the per-path similarity matrices of a name.
-func (h *Harness) PathSims(name string) *core.PathMatrices {
+// Opts.NameTimeout, when set, budgets the computation; Opts.Ctx cancels it.
+func (h *Harness) PathSims(name string) (*core.PathMatrices, error) {
 	if pm, ok := h.pathSims[name]; ok {
-		return pm
+		return pm, nil
 	}
-	pm := h.engine.PathSimilarities(h.refs[name])
+	ctx := h.Opts.ctx()
+	if h.Opts.NameTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.Opts.NameTimeout)
+		defer cancel()
+	}
+	pm, err := h.engine.PathSimilaritiesCtx(ctx, h.refs[name])
+	if err != nil {
+		return nil, fmt.Errorf("experiments: path similarities of %q: %w", name, err)
+	}
 	h.pathSims[name] = pm
-	return pm
+	return pm, nil
 }
 
 // uniformWeights returns 1/n per path.
@@ -212,7 +241,11 @@ func (h *Harness) clusterNamePred(name string, resemW, walkW []float64, measure 
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown name %q", name)
 	}
-	m := core.Combine(h.PathSims(name), resemW, walkW)
+	pm, err := h.PathSims(name)
+	if err != nil {
+		return nil, err
+	}
+	m := core.Combine(pm, resemW, walkW)
 	return eval.Clustering(core.ClusterMatrix(refs, m, measure, minSim)), nil
 }
 

@@ -1,0 +1,162 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndEmptyContext(t *testing.T) {
+	var r *Registry
+	if err := r.Fire(context.Background(), "x"); err != nil {
+		t.Fatalf("nil registry fired: %v", err)
+	}
+	if got := r.Hits("x"); got != 0 {
+		t.Fatalf("nil registry counted hits: %d", got)
+	}
+	if r.Firings() != nil {
+		t.Fatal("nil registry logged firings")
+	}
+	if err := Point(context.Background(), "x"); err != nil {
+		t.Fatalf("Point on plain context fired: %v", err)
+	}
+}
+
+func TestOnHitError(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("p", Rule{OnHit: 3})
+	ctx := With(context.Background(), r)
+	for i := 1; i <= 5; i++ {
+		err := Point(ctx, "p")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: want ErrInjected, got %v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d fired unexpectedly: %v", i, err)
+		}
+	}
+	if got := r.Hits("p"); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+	fir := r.Firings()
+	if len(fir) != 1 || fir[0] != (Firing{Point: "p", Hit: 3, Kind: "error"}) {
+		t.Fatalf("firings = %+v", fir)
+	}
+}
+
+func TestEveryAndCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	r := NewRegistry(1)
+	r.Set("p", Rule{Every: 2, Err: sentinel})
+	ctx := With(context.Background(), r)
+	fired := 0
+	for i := 1; i <= 6; i++ {
+		if err := Point(ctx, "p"); err != nil {
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("hit %d: wrong error %v", i, err)
+			}
+			if i%2 != 0 {
+				t.Fatalf("fired on odd hit %d", i)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+func TestProbIsDeterministicPerSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		r := NewRegistry(seed)
+		r.Set("p", Rule{Prob: 0.5})
+		ctx := With(context.Background(), r)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, Point(ctx, "p") != nil)
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-hit pattern")
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("p", Rule{OnHit: 1, Panic: "kaboom"})
+	ctx := With(context.Background(), r)
+	defer func() {
+		v := recover()
+		ip, ok := v.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want InjectedPanic", v, v)
+		}
+		if ip.Point != "p" || ip.Msg != "kaboom" {
+			t.Fatalf("panic payload = %+v", ip)
+		}
+	}()
+	_ = Point(ctx, "p")
+	t.Fatal("point did not panic")
+}
+
+func TestDelayObservesContext(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("p", Rule{OnHit: 1, Delay: time.Minute})
+	ctx, cancel := context.WithCancel(With(context.Background(), r))
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	err := Point(ctx, "p")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("delayed point returned %v, want context.Canceled", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("delay ignored cancellation, took %v", d)
+	}
+}
+
+func TestHookRunsAndCancelSurfaces(t *testing.T) {
+	r := NewRegistry(1)
+	base, cancel := context.WithCancel(context.Background())
+	r.Set("p", Rule{OnHit: 1, Hook: cancel})
+	ctx := With(base, r)
+	err := Point(ctx, "p")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel hook not surfaced: %v", err)
+	}
+	if fir := r.Firings(); len(fir) != 1 || fir[0].Kind != "hook" {
+		t.Fatalf("firings = %+v", fir)
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	pe := &PanicError{Value: "oops", Stack: []byte("stack")}
+	var target *PanicError
+	if !errors.As(error(pe), &target) {
+		t.Fatal("errors.As failed on *PanicError")
+	}
+	if pe.Error() != "panic: oops" {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}

@@ -60,8 +60,9 @@ func (r *Registry) Handler() http.Handler {
 
 // Server is a running observability HTTP server.
 type Server struct {
-	srv *http.Server
-	lis net.Listener
+	srv        *http.Server
+	lis        net.Listener
+	cancelBase context.CancelFunc
 }
 
 // Addr returns the server's bound address (useful with ":0").
@@ -78,11 +79,14 @@ const shutdownTimeout = 5 * time.Second
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.srv.Shutdown(ctx)
 	if err != nil {
-		// Context expired with requests still in flight; cut them loose.
+		// Context expired with requests still in flight; cancel the base
+		// context every in-flight handler sees, then cut connections loose.
+		s.cancelBase()
 		if cerr := s.srv.Close(); cerr != nil && err == context.DeadlineExceeded {
 			err = cerr
 		}
 	}
+	s.cancelBase()
 	return err
 }
 
@@ -102,12 +106,26 @@ func (s *Server) Close() error {
 //	go tool pprof http://ADDR/debug/pprof/profile?seconds=10
 //
 // The server runs until Close; serving errors after Close are discarded.
+//
+// The server is hardened against slow or stalled clients: header reads,
+// whole-request reads, and idle keep-alive connections are all bounded
+// (slowloris protection). Responses are deliberately unbounded — a
+// /debug/pprof/profile?seconds=30 capture writes long after the request
+// arrived, which a WriteTimeout would kill. Handlers inherit the server's
+// base context, which Shutdown cancels when it force-closes connections.
 func Serve(addr string, reg *Registry) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: reg.Handler()}
+	base, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{
+		Handler:           reg.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		BaseContext:       func(net.Listener) context.Context { return base },
+	}
 	go srv.Serve(lis)
-	return &Server{srv: srv, lis: lis}, nil
+	return &Server{srv: srv, lis: lis, cancelBase: cancel}, nil
 }

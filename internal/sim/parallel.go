@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"distinct/internal/fault"
 	"distinct/internal/obs/trace"
 	"distinct/internal/prop"
 	"distinct/internal/reldb"
@@ -25,6 +28,25 @@ func (e *Extractor) Prefetch(refs []reldb.TupleID, workers int) {
 // cache records propagated=0, so batch sweeps show per-name prefetch spans
 // that did no work — which is itself the interesting fact.
 func (e *Extractor) PrefetchSpan(refs []reldb.TupleID, workers int, parent *trace.Span) {
+	// Background context never cancels and carries no fault registry, so
+	// the error return is impossible and safely discarded.
+	_ = e.PrefetchCtx(context.Background(), refs, workers, parent)
+}
+
+// PrefetchCtx is PrefetchSpan under a context: cancellation (and the
+// "sim.prefetch" fault point) is observed between per-reference
+// propagations, so the latency to abort is bounded by one propagation. On
+// error, neighborhoods already computed are still merged into the cache —
+// the cache only ever gains entries, so a partial prefetch is safe and the
+// work is not wasted on a degraded retry. A worker panic is recovered into
+// a *fault.PanicError instead of killing the process.
+func (e *Extractor) PrefetchCtx(ctx context.Context, refs []reldb.TupleID, workers int, parent *trace.Span) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := fault.Point(ctx, "sim.prefetch"); err != nil {
+		return err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -50,7 +72,7 @@ func (e *Extractor) PrefetchSpan(refs []reldb.TupleID, workers int, parent *trac
 		trace.Int("propagated", int64(len(todo))))
 	defer tsp.End()
 	if len(todo) == 0 {
-		return
+		return nil
 	}
 	sp := e.obs.StartStage("prefetch")
 	defer func() { sp.End(len(todo)) }()
@@ -61,33 +83,79 @@ func (e *Extractor) PrefetchSpan(refs []reldb.TupleID, workers int, parent *trac
 	// under the lock) so cache metrics are identical whatever the worker
 	// count: prefetched propagations never count as cache misses.
 	results := make([][]prop.SparseNeighborhood, len(todo))
+	var runErr error
 	if workers == 1 {
 		for i, r := range todo {
-			results[i] = prop.PropagateMultiSparse(e.db, r, e.trie)
+			if runErr = ctx.Err(); runErr != nil {
+				break
+			}
+			if runErr = propagateGuarded(e, r, results, i); runErr != nil {
+				break
+			}
 		}
 	} else {
-		var wg sync.WaitGroup
+		var (
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			first error
+		)
+		fail := func(err error) {
+			mu.Lock()
+			if first == nil {
+				first = err
+			}
+			mu.Unlock()
+		}
 		next := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i] = prop.PropagateMultiSparse(e.db, todo[i], e.trie)
+					if err := propagateGuarded(e, todo[i], results, i); err != nil {
+						fail(err)
+						return
+					}
 				}
 			}()
 		}
+	feed:
 		for i := range todo {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
+		if first != nil {
+			runErr = first
+		} else {
+			runErr = ctx.Err()
+		}
 	}
 	e.mu.Lock()
 	for i, r := range todo {
+		if results[i] == nil {
+			continue // skipped after cancellation / failure
+		}
 		if _, ok := e.cache[r]; !ok {
 			e.cache[r] = results[i]
 		}
 	}
 	e.mu.Unlock()
+	return runErr
+}
+
+// propagateGuarded runs one propagation, converting a panic into a
+// *fault.PanicError carrying the worker's stack.
+func propagateGuarded(e *Extractor, r reldb.TupleID, results [][]prop.SparseNeighborhood, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &fault.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	results[i] = prop.PropagateMultiSparse(e.db, r, e.trie)
+	return nil
 }

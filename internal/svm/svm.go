@@ -20,6 +20,7 @@
 package svm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -138,6 +139,13 @@ func validate(examples []Example) (dim int, err error) {
 // The dual variables are swept in random order each pass; the pass loop
 // stops when the projected gradients all lie within Tol of optimality.
 func TrainDCD(examples []Example, opts Options) (*Model, error) {
+	return TrainDCDCtx(context.Background(), examples, opts)
+}
+
+// TrainDCDCtx is TrainDCD under a context: cancellation is observed at the
+// top of every optimisation pass, so the latency to abort is bounded by one
+// sweep over the examples.
+func TrainDCDCtx(ctx context.Context, examples []Example, opts Options) (*Model, error) {
 	opts = opts.withDefaults()
 	dim, err := validate(examples)
 	if err != nil {
@@ -173,6 +181,9 @@ func TrainDCD(examples []Example, opts Options) (*Model, error) {
 	}
 
 	for pass := 0; pass < opts.MaxIter; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
 		maxPG, minPG := math.Inf(-1), math.Inf(1)
 		for _, i := range order {

@@ -22,4 +22,6 @@ echo "== go test ./..."
 go test ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== chaos quick tier (fault injection, -race, seed 1)"
+go test -race -count=1 -run '^TestChaos' .
 echo "check.sh: all green"
