@@ -1,0 +1,59 @@
+// Micro-benchmarks of the compiled propagation plans: the map-DFS reference
+// walker against the CSR frontier engine on identical inputs, plus the cost
+// of plan compilation itself. These are the headline numbers for the
+// array-based propagation optimisation (DESIGN.md section 11).
+package distinct_test
+
+import (
+	"testing"
+
+	"distinct/internal/prop"
+)
+
+// BenchmarkPropagate compares one full multi-path propagation — every join
+// path of the engine, one "Wei Wang" reference per iteration — under the
+// map-DFS walker and the compiled CSR frontier engine. Both variants produce
+// the same sorted SparseNeighborhood slices, so ns/op and B/op are directly
+// comparable.
+func BenchmarkPropagate(b *testing.B) {
+	e, _ := benchEngine(b)
+	refs := e.RefsForName("Wei Wang")
+	trie := prop.NewTrie(e.Paths())
+
+	b.Run("mapdfs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := prop.PropagateMultiSparse(e.DB(), refs[i%len(refs)], trie); len(got) == 0 {
+				b.Fatal("empty propagation")
+			}
+		}
+	})
+
+	b.Run("csr", func(b *testing.B) {
+		ct := prop.CompileTrie(e.DB(), trie)
+		s := ct.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := ct.Propagate(refs[i%len(refs)], s); len(got) == 0 {
+				b.Fatal("empty propagation")
+			}
+		}
+	})
+}
+
+// BenchmarkPlanCompile measures compiling the whole path trie into CSR hops
+// from a cold cache — the one-off cost an engine pays before the first
+// propagation. Uncached so every iteration rebuilds the hop indexes instead
+// of hitting the database's plan cache.
+func BenchmarkPlanCompile(b *testing.B) {
+	e, _ := benchEngine(b)
+	trie := prop.NewTrie(e.Paths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct := prop.CompileTrieUncached(e.DB(), trie)
+		if hops, edges := ct.Stats(); hops == 0 || edges == 0 {
+			b.Fatalf("empty plan: %d hops, %d edges", hops, edges)
+		}
+	}
+}

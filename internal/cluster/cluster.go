@@ -23,7 +23,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -136,10 +135,15 @@ type candidate struct {
 	a, b int // cluster ids, a < b
 }
 
+// candidateHeap is a max-heap of merge candidates under (sim desc, a asc,
+// b asc) — a total order, so the pop sequence is a pure function of the
+// contents and any correct heap yields the same merge order. Hand-rolled
+// instead of container/heap so push/pop stay monomorphic: no interface
+// boxing (one small allocation per push) and no indirect Less/Swap calls
+// inside the merge loop.
 type candidateHeap []candidate
 
-func (h candidateHeap) Len() int { return len(h) }
-func (h candidateHeap) Less(i, j int) bool {
+func (h candidateHeap) less(i, j int) bool {
 	if h[i].sim != h[j].sim {
 		return h[i].sim > h[j].sim
 	}
@@ -148,9 +152,54 @@ func (h candidateHeap) Less(i, j int) bool {
 	}
 	return h[i].b < h[j].b
 }
-func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(candidate)) }
-func (h *candidateHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h candidateHeap) down(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h candidateHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i, len(h))
+	}
+}
+
+func (h *candidateHeap) push(c candidate) {
+	s := append(*h, c)
+	*h = s
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *candidateHeap) pop() candidate {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	s.down(0, n)
+	return top
+}
 
 // Merge records one agglomeration step: the members of the two clusters
 // merged and the similarity at which it happened. Merges arrive in
@@ -203,7 +252,7 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 	for i := range clusters {
 		clusters[i] = clusterState{members: []int{i}, alive: true}
 	}
-	stats := make(map[[2]int]pairStats, n*(n-1)/2)
+	stats := make(map[uint64]pairStats, n*(n-1)/2)
 	h := make(candidateHeap, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
@@ -215,7 +264,7 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 				sumResem: r, minResem: r, maxResem: r,
 				walkAB: ps.Walk(i, j), walkBA: ps.Walk(j, i),
 			}
-			stats[[2]int{i, j}] = st
+			stats[pairKey(i, j)] = st
 			if s := similarity(st, 1, 1, opts.Measure); s >= opts.MinSim {
 				h = append(h, candidate{sim: s, a: i, b: j})
 			} else {
@@ -226,13 +275,13 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 			}
 		}
 	}
-	heap.Init(&h)
+	h.init()
 
-	for h.Len() > 0 {
+	for len(h) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		c := heap.Pop(&h).(candidate)
+		c := h.pop()
 		if !clusters[c.a].alive || !clusters[c.b].alive {
 			continue // stale entry for a merged-away cluster
 		}
@@ -268,10 +317,10 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 			sa := takeStats(stats, oid, c.a)
 			sb := takeStats(stats, oid, c.b)
 			ns := mergeOriented(sa, sb, oid, c.a, c.b)
-			stats[orient(oid, nid)] = ns
+			stats[pairKey(oid, nid)] = ns
 			s := similarity(ns, len(clusters[oid].members), len(merged), opts.Measure)
 			if s >= opts.MinSim {
-				heap.Push(&h, candidate{sim: s, a: oid, b: nid})
+				h.push(candidate{sim: s, a: oid, b: nid})
 			} else {
 				pruned++
 				if s > bestRejected {
@@ -279,7 +328,7 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 				}
 			}
 		}
-		delete(stats, [2]int{c.a, c.b})
+		delete(stats, pairKey(c.a, c.b))
 	}
 
 	if opts.Obs != nil {
@@ -317,18 +366,21 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 	return out, mergeLog, nil
 }
 
-// orient returns the canonical (low, high) key for a cluster pair.
-func orient(a, b int) [2]int {
-	if a < b {
-		return [2]int{a, b}
+// pairKey packs a cluster pair into one word, low id in the high half.
+// Cluster ids stay below 2n (n originals plus at most n-1 merges), so the
+// halves never truncate for any clusterable input. An 8-byte key hashes in
+// one word operation where the previous [2]int key paid memhash128.
+func pairKey(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
 	}
-	return [2]int{b, a}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }
 
 // takeStats removes and returns the stats between clusters x and y, oriented
 // so walkAB flows from min(x,y) to max(x,y).
-func takeStats(stats map[[2]int]pairStats, x, y int) pairStats {
-	key := orient(x, y)
+func takeStats(stats map[uint64]pairStats, x, y int) pairStats {
+	key := pairKey(x, y)
 	st := stats[key]
 	delete(stats, key)
 	return st

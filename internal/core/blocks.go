@@ -70,20 +70,19 @@ func (e *Engine) blocksCtxAt(ctx context.Context, parent *trace.Span, refs []rel
 	}
 	uf := newUnionFind(len(refs))
 	// Inverted index: (path, neighbor tuple) -> first reference seen with
-	// it; later references union with the first.
-	type key struct {
-		path int
-		t    reldb.TupleID
-	}
-	first := make(map[key]int)
+	// it; later references union with the first. The pair is packed into
+	// one word (TupleID is 32-bit; path counts are far below 2^32) so the
+	// map hashes 8 bytes instead of a 16-byte struct.
+	first := make(map[uint64]int)
 	for i, r := range refs {
 		nbs := e.ext.Neighborhoods(r)
 		for p := range e.paths {
 			if e.resemW[p] == 0 && e.walkW[p] == 0 {
 				continue
 			}
+			pk := uint64(p) << 32
 			for _, t := range nbs[p].Keys {
-				k := key{path: p, t: t}
+				k := pk | uint64(uint32(t))
 				if j, ok := first[k]; ok {
 					uf.union(i, j)
 				} else {

@@ -1,0 +1,417 @@
+package prop
+
+import (
+	"slices"
+
+	"distinct/internal/reldb"
+)
+
+// This file is the compiled counterpart of multi.go: the same path prefix
+// trie, but walked level by level over CSR hop plans (reldb.HopCSR) instead
+// of tuple by tuple through hash indexes. The recursive map-DFS remains the
+// reference implementation; compiled_test.go holds the two within 1e-12 of
+// each other on random schemas, including cyclic ones.
+//
+// # Frontier propagation
+//
+// At each trie node the engine holds a frontier: the distinct tuples
+// (as dense relation ordinals) reached after the node's step, with the
+// aggregated forward mass F and backward mass B of every DFS path instance
+// ending there. One pass over the frontier's CSR rows produces the child
+// frontier — O(edges touched) with sequential array access, instead of one
+// hash lookup and one interface call per DFS edge visit.
+//
+// # The no-backtrack rule, per edge instead of per instance
+//
+// The DFS forbids stepping straight back to the tuple it arrived from. At
+// the aggregated level that rule depends on where mass came from, so node
+// totals alone are not enough: when a hop can mirror its parent hop (the
+// child steps back into the relation the parent left — the coauthor-style
+// "bounce"), the engine also keeps the parent hop's per-edge masses. For a
+// frontier tuple t with out-degree d0, aggregated masses (F, B), bounce
+// in-mass Fx = Σ parent-edge mass arriving over mirrors of t's out-edges,
+// and an out-edge g: t→v whose mirror v→t carried (f_v, b_v):
+//
+//	mF(g) = (F − Fx)/d0 + (Fx − f_v)/(d0 − 1)
+//	mB(g) = (B − b_v) / rev(v)
+//
+// Mass that did not arrive from an out-neighbor splits over all d0 edges;
+// mass that arrived from out-neighbor v' splits over the d0 − 1 edges that
+// exclude v'; and v's own returning mass (f_v, b_v) contributes nothing.
+// For an edge with no mirror, f_v = b_v = 0 and the correction term becomes
+// Fx/(d0 − 1). When d0 == 1 the correction term is mathematically zero
+// (Fx == f_v: the only possible bounce origin is the single out-neighbor)
+// and is skipped, avoiding the 0/0. The per-edge masses are exact sums of
+// the DFS instance masses up to floating-point association, which is why
+// equivalence is 1e-12, not bit-identical.
+//
+// Cancellation in F − Fx can leave a pure-backtrack edge with a few ULPs of
+// spurious — possibly negative — mass; edges with mF ≤ 0 are dropped (every
+// DFS-traversed edge carries strictly positive forward mass) and a negative
+// B − b_v clamps to zero.
+//
+// # Determinism
+//
+// The frontier is deterministic: rows are visited in ordinal order and
+// edges in row order, so every float is accumulated in one fixed order
+// regardless of worker count. Emission sorts the final frontier's ordinals;
+// ordinal order within a relation is ascending TupleID order, so the
+// SparseNeighborhood comes out sorted, with SumFwd accumulated in key order
+// exactly like Neighborhood.Sparse.
+
+// ctNode is one compiled trie node.
+type ctNode struct {
+	hop      *reldb.HopCSR
+	backRef  []int32 // mirror-edge indexes into the parent hop, nil if none
+	terminal []int32 // path indexes ending here
+	children []int32
+	depth    int32
+	// storeEdges: some child can bounce, so this node must record per-edge
+	// masses for the child's exclusion arithmetic.
+	storeEdges bool
+	// dead: the step cannot chain after the parent (relation mismatch in a
+	// hand-built path); the subtree can never carry mass and is skipped.
+	dead bool
+}
+
+// CompiledTrie is a Trie bound to one database's CSR hop plans. It is
+// immutable after compilation and shared read-only across goroutines; all
+// per-propagation state lives in a Scratch.
+type CompiledTrie struct {
+	db    *reldb.Database
+	paths []reldb.JoinPath
+	nodes []ctNode
+	roots []int32
+
+	maxDepth int
+	posLen   []int // per depth: ordinal-index size (max target relation size)
+	edgeLen  []int // per depth: edge-buffer size (max edges of storing nodes)
+
+	statHops, statEdges int
+}
+
+// CompileTrie compiles the trie against db, fetching hop plans from the
+// database's shared cache (compiled lazily, each hop once per database).
+func CompileTrie(db *reldb.Database, t *Trie) *CompiledTrie {
+	return compileTrie(db, t, db.HopFor)
+}
+
+// CompileTrieUncached is CompileTrie bypassing the database's plan cache:
+// every hop is compiled fresh. It exists so compilation cost itself can be
+// measured (BenchmarkPlanCompile) and tested without cache warm-up effects.
+func CompileTrieUncached(db *reldb.Database, t *Trie) *CompiledTrie {
+	return compileTrie(db, t, func(from string, st reldb.Step) *reldb.HopCSR {
+		return reldb.CompileHop(db, from, st)
+	})
+}
+
+func compileTrie(db *reldb.Database, t *Trie, hopFor func(string, reldb.Step) *reldb.HopCSR) *CompiledTrie {
+	ct := &CompiledTrie{db: db, paths: t.paths}
+	type hopIdent struct {
+		from string
+		step reldb.Step
+	}
+	type pairKey struct{ parent, child *reldb.HopCSR }
+	seen := make(map[hopIdent]bool)
+	brCache := make(map[pairKey][]int32)
+	var build func(tn *trieNode, parent *reldb.HopCSR, depth int) int32
+	build = func(tn *trieNode, parent *reldb.HopCSR, depth int) int32 {
+		from := tn.step.From(db.Schema)
+		hop := hopFor(from, tn.step)
+		if id := (hopIdent{from: from, step: tn.step}); !seen[id] {
+			seen[id] = true
+			ct.statHops++
+			ct.statEdges += hop.NumEdges()
+		}
+		idx := int32(len(ct.nodes))
+		nd := ctNode{hop: hop, depth: int32(depth)}
+		nd.dead = parent != nil && hop.FromRel != parent.ToRel
+		if parent != nil && !nd.dead {
+			// Identical (parent, child) hop pairs appear under every shared
+			// prefix; the mirror-edge table depends only on the pair.
+			k := pairKey{parent: parent, child: hop}
+			br, ok := brCache[k]
+			if !ok {
+				br = reldb.BackRefs(parent, hop)
+				brCache[k] = br
+			}
+			nd.backRef = br
+		}
+		if len(tn.terminal) > 0 {
+			nd.terminal = make([]int32, len(tn.terminal))
+			for i, pi := range tn.terminal {
+				nd.terminal[i] = int32(pi)
+			}
+		}
+		ct.nodes = append(ct.nodes, nd)
+		if !nd.dead {
+			if depth > ct.maxDepth {
+				ct.maxDepth = depth
+			}
+			ct.posLen = growMax(ct.posLen, depth, hop.NumTo)
+		}
+		storeEdges := false
+		for _, c := range tn.children {
+			ci := build(c, hop, depth+1)
+			ct.nodes[idx].children = append(ct.nodes[idx].children, ci)
+			if ct.nodes[ci].backRef != nil && !ct.nodes[ci].dead {
+				storeEdges = true
+			}
+		}
+		if storeEdges {
+			ct.nodes[idx].storeEdges = true
+			ct.edgeLen = growMax(ct.edgeLen, depth, hop.NumEdges())
+		}
+		return idx
+	}
+	for _, c := range t.root.children {
+		ct.roots = append(ct.roots, build(c, nil, 1))
+	}
+	return ct
+}
+
+func growMax(s []int, idx, val int) []int {
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	if val > s[idx] {
+		s[idx] = val
+	}
+	return s
+}
+
+// Stats reports the compiled plan's size: the number of distinct hop plans
+// and the total tuple-level edges they index.
+func (ct *CompiledTrie) Stats() (hops, edges int) { return ct.statHops, ct.statEdges }
+
+// level is one depth's reusable frontier state.
+type level struct {
+	// pos maps a target ordinal to its index in frontier, -1 when absent.
+	// It is restored to all -1 after each node finishes, by walking the
+	// frontier — O(frontier), not O(relation).
+	pos      []int32
+	frontier []int32
+	accF     []float64
+	accB     []float64
+}
+
+// Scratch holds every mutable buffer one propagation needs. A Scratch
+// belongs to one CompiledTrie and one goroutine at a time; reusing it
+// across calls is what makes the fast path allocation-free apart from the
+// emitted neighborhoods themselves.
+type Scratch struct {
+	levels  []level
+	edgeF   [][]float64 // per depth: forward mass per edge of the storing node
+	edgeB   [][]float64
+	sortBuf []int32
+}
+
+// NewScratch allocates a scratch sized for this trie's plans.
+func (ct *CompiledTrie) NewScratch() *Scratch {
+	s := &Scratch{
+		levels: make([]level, ct.maxDepth+1),
+		edgeF:  make([][]float64, ct.maxDepth+1),
+		edgeB:  make([][]float64, ct.maxDepth+1),
+	}
+	for d := 1; d <= ct.maxDepth; d++ {
+		if d < len(ct.posLen) && ct.posLen[d] > 0 {
+			pos := make([]int32, ct.posLen[d])
+			for i := range pos {
+				pos[i] = -1
+			}
+			s.levels[d].pos = pos
+		}
+		if d < len(ct.edgeLen) && ct.edgeLen[d] > 0 {
+			s.edgeF[d] = make([]float64, ct.edgeLen[d])
+			s.edgeB[d] = make([]float64, ct.edgeLen[d])
+		}
+	}
+	return s
+}
+
+// Propagate computes the neighborhoods of start along every path of the
+// trie, equivalent to PropagateMultiSparse within 1e-12. s must come from
+// this trie's NewScratch (nil allocates a throwaway one). The result slice
+// and its neighborhoods are freshly allocated; the scratch may be reused
+// for the next call immediately.
+func (ct *CompiledTrie) Propagate(start reldb.TupleID, s *Scratch) []SparseNeighborhood {
+	out := make([]SparseNeighborhood, len(ct.paths))
+	if len(ct.roots) == 0 {
+		return out
+	}
+	startRel := ct.db.Tuple(start).Rel.Name
+	ord := ct.db.Relation(startRel).OrdinalOf(start)
+	if ord < 0 {
+		return out
+	}
+	if s == nil {
+		s = ct.NewScratch()
+	}
+	l0 := &s.levels[0]
+	l0.frontier = append(l0.frontier[:0], int32(ord))
+	l0.accF = append(l0.accF[:0], 1)
+	l0.accB = append(l0.accB[:0], 1)
+	for _, ri := range ct.roots {
+		if ct.nodes[ri].hop.FromRel != startRel {
+			continue
+		}
+		ct.run(ri, startRel, out, s)
+	}
+	return out
+}
+
+// run advances the parent frontier across one trie node's hop, deposits
+// terminal neighborhoods, recurses into children, and restores the scratch
+// state it used.
+func (ct *CompiledTrie) run(ni int32, startRel string, out []SparseNeighborhood, s *Scratch) {
+	nd := &ct.nodes[ni]
+	hop := nd.hop
+	in := &s.levels[nd.depth-1]
+	lv := &s.levels[nd.depth]
+	rowPtr, col, rev := hop.RowPtr, hop.Col, hop.Rev
+	br := nd.backRef
+	var pEF, pEB []float64
+	if br != nil {
+		pEF, pEB = s.edgeF[nd.depth-1], s.edgeB[nd.depth-1]
+	}
+	var mEF, mEB []float64
+	if nd.storeEdges {
+		mEF, mEB = s.edgeF[nd.depth], s.edgeB[nd.depth]
+	}
+	pos := lv.pos
+	frontier := lv.frontier[:0]
+	accF, accB := lv.accF[:0], lv.accB[:0]
+	for fi, t := range in.frontier {
+		lo, hi := rowPtr[t], rowPtr[t+1]
+		if lo == hi {
+			continue // dead end: this branch's mass is lost, as in the DFS
+		}
+		F, B := in.accF[fi], in.accB[fi]
+		d0 := float64(hi - lo)
+		var Fx float64
+		if br != nil {
+			for g := lo; g < hi; g++ {
+				if r := br[g]; r >= 0 {
+					Fx += pEF[r]
+				}
+			}
+		}
+		share := (F - Fx) / d0
+		for g := lo; g < hi; g++ {
+			v := col[g]
+			mF := share
+			mB := B
+			if br != nil {
+				if r := br[g]; r >= 0 {
+					if hi-lo > 1 {
+						mF += (Fx - pEF[r]) / (d0 - 1)
+					}
+					mB -= pEB[r]
+				} else if Fx != 0 && hi-lo > 1 {
+					mF += Fx / (d0 - 1)
+				}
+			}
+			if mF <= 0 {
+				// Pure-backtrack edge (or its cancellation noise): no DFS
+				// path instance traverses it.
+				if mEF != nil {
+					mEF[g], mEB[g] = 0, 0
+				}
+				continue
+			}
+			if mB < 0 {
+				mB = 0
+			}
+			mB /= float64(rev[v])
+			if mEF != nil {
+				mEF[g], mEB[g] = mF, mB
+			}
+			if j := pos[v]; j >= 0 {
+				accF[j] += mF
+				accB[j] += mB
+			} else {
+				pos[v] = int32(len(frontier))
+				frontier = append(frontier, v)
+				accF = append(accF, mF)
+				accB = append(accB, mB)
+			}
+		}
+	}
+	lv.frontier, lv.accF, lv.accB = frontier, accF, accB
+	if len(frontier) == 0 {
+		// Nothing reached: terminals keep their zero value (what the DFS's
+		// empty map finalises to), children are inert, and neither pos nor
+		// the edge buffer holds anything but -1s and zeroes.
+		return
+	}
+	if len(nd.terminal) > 0 {
+		var sn SparseNeighborhood
+		built := false
+		for _, pi := range nd.terminal {
+			if ct.paths[pi].Start != startRel {
+				continue // mirrors PropagateMulti's per-path start check
+			}
+			if !built {
+				sn = ct.emitSorted(lv, hop, s)
+				built = true
+			}
+			out[pi] = sn
+		}
+	}
+	for _, ci := range nd.children {
+		if ct.nodes[ci].dead {
+			continue
+		}
+		ct.run(ci, startRel, out, s)
+	}
+	// Restore for the next sibling subtree: pos back to -1 and, if children
+	// read per-edge masses, those entries back to zero.
+	for _, v := range frontier {
+		pos[v] = -1
+	}
+	if mEF != nil {
+		for _, t := range in.frontier {
+			for g := rowPtr[t]; g < rowPtr[t+1]; g++ {
+				mEF[g], mEB[g] = 0, 0
+			}
+		}
+	}
+}
+
+// emitSorted finalises the node's frontier into a sorted SparseNeighborhood.
+func (ct *CompiledTrie) emitSorted(lv *level, hop *reldb.HopCSR, s *Scratch) SparseNeighborhood {
+	n := len(lv.frontier)
+	s.sortBuf = append(s.sortBuf[:0], lv.frontier...)
+	slices.Sort(s.sortBuf)
+	keys := make([]reldb.TupleID, n)
+	fbs := make([]FB, n)
+	var sum float64
+	for i, v := range s.sortBuf {
+		j := lv.pos[v]
+		keys[i] = hop.ToIDs[v]
+		fbs[i] = FB{Fwd: lv.accF[j], Bwd: lv.accB[j]}
+		sum += lv.accF[j]
+	}
+	return SparseNeighborhood{Keys: keys, FBs: fbs, SumFwd: sum}
+}
+
+// CompiledPath is a single compiled join path — CompiledTrie specialised to
+// one path, for callers that propagate path by path.
+type CompiledPath struct {
+	ct *CompiledTrie
+}
+
+// CompilePath compiles one join path against db (hop plans come from the
+// database's shared cache).
+func CompilePath(db *reldb.Database, p reldb.JoinPath) *CompiledPath {
+	return &CompiledPath{ct: CompileTrie(db, NewTrie([]reldb.JoinPath{p}))}
+}
+
+// NewScratch allocates a scratch sized for this path.
+func (cp *CompiledPath) NewScratch() *Scratch { return cp.ct.NewScratch() }
+
+// Propagate computes the neighborhood of start along the path, equivalent
+// to PropagateSparse within 1e-12.
+func (cp *CompiledPath) Propagate(start reldb.TupleID, s *Scratch) SparseNeighborhood {
+	return cp.ct.Propagate(start, s)[0]
+}

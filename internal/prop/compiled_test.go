@@ -1,0 +1,308 @@
+package prop
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"distinct/internal/reldb"
+)
+
+// cyclicWorldOpts shapes cyclicRandomWorld's output.
+type cyclicWorldOpts struct {
+	// cyclic lets foreign keys reference any relation — later ones, earlier
+	// ones, or the owner itself — so the schema graph may contain cycles
+	// and self-loops (tuples can even reference themselves).
+	cyclic bool
+	// dangling makes ~15% of FK values reference keys that do not exist,
+	// producing forward dead ends mid-path.
+	dangling bool
+}
+
+// cyclicRandomWorld generalises randomSchemaWorld beyond DAG schemas: key
+// spaces are fixed up front, so FK values can target any relation no matter
+// the population order, including cycles, self-references, and (optionally)
+// dangling keys. Insert performs no FK validation, so all of it is legal
+// data the propagation engines must agree on.
+func cyclicRandomWorld(rng *rand.Rand, opts cyclicWorldOpts) *reldb.Database {
+	nRels := 2 + rng.Intn(4)
+	sizes := make([]int, nRels)
+	for i := range sizes {
+		sizes[i] = 2 + rng.Intn(7)
+	}
+	var schemas []*reldb.RelationSchema
+	for i := 0; i < nRels; i++ {
+		attrs := []reldb.Attribute{{Name: "k", Key: true}}
+		nFKs := rng.Intn(3)
+		if i == 0 && nFKs == 0 {
+			nFKs = 1 // guarantee at least one start relation with an FK
+		}
+		for f := 0; f < nFKs; f++ {
+			target := i // self-loop candidate
+			if !opts.cyclic {
+				if i == 0 {
+					break
+				}
+				target = rng.Intn(i)
+			} else if rng.Intn(3) > 0 {
+				target = rng.Intn(nRels)
+			}
+			attrs = append(attrs, reldb.Attribute{Name: fmt.Sprintf("f%d", f), FK: fmt.Sprintf("R%d", target)})
+		}
+		schemas = append(schemas, reldb.MustRelationSchema(fmt.Sprintf("R%d", i), attrs...))
+	}
+	db := reldb.NewDatabase(reldb.MustSchema(schemas...))
+	for i := 0; i < nRels; i++ {
+		name := fmt.Sprintf("R%d", i)
+		rs := db.Schema.Relation(name)
+		for t := 0; t < sizes[i]; t++ {
+			vals := make([]reldb.Value, len(rs.Attrs))
+			for ai, a := range rs.Attrs {
+				switch {
+				case a.Key:
+					vals[ai] = fmt.Sprintf("%s-%d", name, t)
+				default: // every non-key attr here is an FK
+					ti := 0
+					fmt.Sscanf(a.FK, "R%d", &ti)
+					if opts.dangling && rng.Intn(7) == 0 {
+						vals[ai] = "missing"
+					} else {
+						vals[ai] = fmt.Sprintf("%s-%d", a.FK, rng.Intn(sizes[ti]))
+					}
+				}
+			}
+			db.MustInsert(name, vals...)
+		}
+	}
+	return db
+}
+
+// diffSparse returns the largest absolute difference between two sparse
+// neighborhoods over the union of their keys (absent keys count as zero),
+// including the SumFwd aggregates.
+func diffSparse(a, b SparseNeighborhood) float64 {
+	d := math.Abs(a.SumFwd - b.SumFwd)
+	i, j := 0, 0
+	for i < len(a.Keys) || j < len(b.Keys) {
+		switch {
+		case j == len(b.Keys) || (i < len(a.Keys) && a.Keys[i] < b.Keys[j]):
+			d = math.Max(d, math.Max(math.Abs(a.FBs[i].Fwd), math.Abs(a.FBs[i].Bwd)))
+			i++
+		case i == len(a.Keys) || a.Keys[i] > b.Keys[j]:
+			d = math.Max(d, math.Max(math.Abs(b.FBs[j].Fwd), math.Abs(b.FBs[j].Bwd)))
+			j++
+		default:
+			d = math.Max(d, math.Abs(a.FBs[i].Fwd-b.FBs[j].Fwd))
+			d = math.Max(d, math.Abs(a.FBs[i].Bwd-b.FBs[j].Bwd))
+			i++
+			j++
+		}
+	}
+	return d
+}
+
+// checkCompiledAgainstDFS compiles the trie both ways (shared plan cache
+// and uncached) and holds every path's compiled neighborhood within tol of
+// the DFS reference for each given start tuple.
+func checkCompiledAgainstDFS(t *testing.T, tag string, db *reldb.Database, paths []reldb.JoinPath, starts []reldb.TupleID, tol float64) {
+	t.Helper()
+	trie := NewTrie(paths)
+	for variant, ct := range map[string]*CompiledTrie{
+		"cached":   CompileTrie(db, trie),
+		"uncached": CompileTrieUncached(db, trie),
+	} {
+		scratch := ct.NewScratch()
+		for _, id := range starts {
+			want := PropagateMultiSparse(db, id, trie)
+			got := ct.Propagate(id, scratch)
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d neighborhoods, want %d", tag, variant, len(got), len(want))
+			}
+			for pi := range want {
+				if d := diffSparse(got[pi], want[pi]); d > tol {
+					t.Fatalf("%s/%s: start %d path %s diverges by %g:\n got %+v\nwant %+v",
+						tag, variant, id, paths[pi], d, got[pi], want[pi])
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesDFSPaper pins the compiled engine to the paper's
+// hand-computed fixtures, bounce path included.
+func TestCompiledMatchesDFSPaper(t *testing.T) {
+	db, refs := miniDB(t)
+	paths := []reldb.JoinPath{
+		coauthorPath(),
+		{Start: "Publish", Steps: []reldb.Step{
+			{Rel: "Publish", Attr: "paper-key", Forward: true},
+			{Rel: "Publications", Attr: "proc-key", Forward: true},
+			{Rel: "Proceedings", Attr: "conference", Forward: true},
+		}},
+	}
+	var starts []reldb.TupleID
+	for _, id := range refs {
+		starts = append(starts, id)
+	}
+	checkCompiledAgainstDFS(t, "paper", db, paths, starts, 1e-12)
+
+	// And the hand-computed values directly: from wei@p1 the only coauthor
+	// is jiong (forward 1, backward 1/4).
+	cp := CompilePath(db, coauthorPath())
+	nb := cp.Propagate(refs["wei@p1"], nil)
+	if nb.Len() != 1 {
+		t.Fatalf("wei@p1 coauthors = %d, want 1", nb.Len())
+	}
+	if fb, ok := nb.Lookup(db.LookupKey("Authors", "jiong")); !ok || !approx(fb.Fwd, 1) || !approx(fb.Bwd, 0.25) {
+		t.Fatalf("wei@p1 -> jiong = %+v, want {1 0.25}", fb)
+	}
+}
+
+// TestCompiledMatchesDFSDeadEnd: a single-author paper dead-ends the
+// coauthor walk; the compiled result must be the zero neighborhood, like
+// the DFS's empty map finalised.
+func TestCompiledMatchesDFSDeadEnd(t *testing.T) {
+	db := reldb.NewDatabase(dblpSchema())
+	db.MustInsert("Authors", "solo")
+	db.MustInsert("Conferences", "VLDB")
+	db.MustInsert("Proceedings", "vldb97", "VLDB")
+	db.MustInsert("Publications", "p1", "vldb97")
+	ref := db.MustInsert("Publish", "solo", "p1")
+	cp := CompilePath(db, coauthorPath())
+	nb := cp.Propagate(ref, nil)
+	if nb.Len() != 0 || nb.Keys != nil || nb.SumFwd != 0 {
+		t.Fatalf("dead-end neighborhood = %+v, want zero value", nb)
+	}
+}
+
+// TestCompiledWrongStartAndEmptyPath mirrors Propagate's input guards.
+func TestCompiledWrongStartAndEmptyPath(t *testing.T) {
+	db, _ := miniDB(t)
+	author := db.LookupKey("Authors", "wei")
+	ct := CompileTrie(db, NewTrie([]reldb.JoinPath{coauthorPath()}))
+	if got := ct.Propagate(author, nil); got[0].Len() != 0 {
+		t.Errorf("wrong-relation start produced %+v", got[0])
+	}
+	cp := CompilePath(db, reldb.JoinPath{Start: "Publish"})
+	ref := db.Relation("Publish").TupleIDs()[0]
+	if nb := cp.Propagate(ref, nil); nb.Len() != 0 {
+		t.Errorf("empty path produced %+v", nb)
+	}
+}
+
+// TestCompiledMatchesDFSRandomDAG sweeps the existing DAG generator.
+func TestCompiledMatchesDFSRandomDAG(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomSchemaWorld(rng)
+		checkRandomWorld(t, fmt.Sprintf("dag-%d", seed), db)
+	}
+}
+
+// TestCompiledMatchesDFSRandomCyclic sweeps cyclic schemas (self-loops
+// included) with and without dangling foreign keys.
+func TestCompiledMatchesDFSRandomCyclic(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		opts := cyclicWorldOpts{cyclic: true, dangling: seed%2 == 1}
+		db := cyclicRandomWorld(rng, opts)
+		checkRandomWorld(t, fmt.Sprintf("cyclic-%d", seed), db)
+	}
+}
+
+// checkRandomWorld enumerates join paths from every FK-bearing relation of
+// a random world and checks compiled/DFS equivalence from a few starts.
+func checkRandomWorld(t *testing.T, tag string, db *reldb.Database) {
+	t.Helper()
+	for _, rs := range db.Schema.Relations() {
+		if len(rs.ForeignKeys()) == 0 || db.Relation(rs.Name).Size() == 0 {
+			continue
+		}
+		paths := reldb.EnumerateJoinPaths(db.Schema, rs.Name, reldb.EnumerateOptions{MaxLen: 3})
+		if len(paths) == 0 {
+			continue
+		}
+		if len(paths) > 40 {
+			paths = paths[:40]
+		}
+		ids := db.Relation(rs.Name).TupleIDs()
+		if len(ids) > 3 {
+			ids = ids[:3]
+		}
+		checkCompiledAgainstDFS(t, tag+"/"+rs.Name, db, paths, ids, 1e-12)
+	}
+}
+
+// TestCompiledScratchReuse: reusing one scratch across many propagations
+// must give the same results as a fresh scratch per call — the reset
+// discipline (pos back to -1, edge buffers back to zero) is load-bearing.
+func TestCompiledScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := cyclicRandomWorld(rng, cyclicWorldOpts{cyclic: true, dangling: true})
+	var start string
+	for _, rs := range db.Schema.Relations() {
+		if len(rs.ForeignKeys()) > 0 {
+			start = rs.Name
+			break
+		}
+	}
+	paths := reldb.EnumerateJoinPaths(db.Schema, start, reldb.EnumerateOptions{MaxLen: 3})
+	if len(paths) > 30 {
+		paths = paths[:30]
+	}
+	ct := CompileTrie(db, NewTrie(paths))
+	shared := ct.NewScratch()
+	for _, id := range db.Relation(start).TupleIDs() {
+		got := ct.Propagate(id, shared)
+		want := ct.Propagate(id, ct.NewScratch())
+		for pi := range want {
+			// Same engine, same order: bit-identical, not just within tol.
+			if diffSparse(got[pi], want[pi]) != 0 {
+				t.Fatalf("scratch reuse diverged on start %d path %s", id, paths[pi])
+			}
+		}
+	}
+}
+
+// TestCompiledAllocsCeiling pins the fast path's allocation count: with a
+// warm scratch, one propagation may allocate only the result slice plus
+// two slices per non-empty terminal neighborhood.
+func TestCompiledAllocsCeiling(t *testing.T) {
+	db, refs := miniDB(t)
+	paths := []reldb.JoinPath{
+		coauthorPath(),
+		{Start: "Publish", Steps: []reldb.Step{
+			{Rel: "Publish", Attr: "paper-key", Forward: true},
+			{Rel: "Publications", Attr: "proc-key", Forward: true},
+			{Rel: "Proceedings", Attr: "conference", Forward: true},
+		}},
+	}
+	ct := CompileTrie(db, NewTrie(paths))
+	scratch := ct.NewScratch()
+	start := refs["wei@p2"]
+	ct.Propagate(start, scratch) // warm: grows frontier/acc/sort buffers
+	ceiling := float64(1 + 2*len(paths))
+	if got := testing.AllocsPerRun(100, func() {
+		ct.Propagate(start, scratch)
+	}); got > ceiling {
+		t.Errorf("CSR propagation allocates %v per run, ceiling %v", got, ceiling)
+	}
+}
+
+// TestCompiledStats: plan size counters reflect distinct hops, not trie
+// nodes, and survive the shared-prefix dedupe.
+func TestCompiledStats(t *testing.T) {
+	db, _ := miniDB(t)
+	paths := []reldb.JoinPath{coauthorPath()}
+	ct := CompileTrie(db, NewTrie(paths))
+	hops, edges := ct.Stats()
+	if hops != 3 {
+		t.Errorf("hops = %d, want 3", hops)
+	}
+	// Publish->Publications: 5 edges; Publications->Publish (reverse): 5;
+	// Publish->Authors: 5.
+	if edges != 15 {
+		t.Errorf("edges = %d, want 15", edges)
+	}
+}

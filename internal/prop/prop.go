@@ -22,6 +22,7 @@ package prop
 
 import (
 	"math"
+	"slices"
 
 	"distinct/internal/reldb"
 )
@@ -41,21 +42,37 @@ type Neighborhood map[reldb.TupleID]FB
 // TotalFwd returns the total forward probability mass that reached the end
 // relation. It is exactly 1 unless some intermediate tuple had no joinable
 // continuation (a dead end), in which case that branch's mass is lost.
+// The sum runs in ascending key order — not Go's randomised map order — so
+// repeated calls (and debug output built on them) are bit-identical, and
+// the value matches the sparse form's SumFwd exactly.
 func (n Neighborhood) TotalFwd() float64 {
 	var s float64
-	for _, fb := range n {
-		s += fb.Fwd
+	for _, k := range n.sortedKeys() {
+		s += n[k].Fwd
 	}
 	return s
 }
 
 // MaxBwd returns the largest backward probability in the neighborhood.
+// Iteration is in sorted key order like TotalFwd; max is order-independent,
+// but keeping one iteration discipline means every derived debug value is
+// reproducible by construction.
 func (n Neighborhood) MaxBwd() float64 {
 	m := 0.0
-	for _, fb := range n {
-		m = math.Max(m, fb.Bwd)
+	for _, k := range n.sortedKeys() {
+		m = math.Max(m, n[k].Bwd)
 	}
 	return m
+}
+
+// sortedKeys returns the neighbor tuple IDs in ascending order.
+func (n Neighborhood) sortedKeys() []reldb.TupleID {
+	keys := make([]reldb.TupleID, 0, len(n))
+	for t := range n {
+		keys = append(keys, t)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // Propagate walks the join path from the tuple containing the reference and

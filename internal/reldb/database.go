@@ -3,6 +3,8 @@ package reldb
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Value is an attribute value. All values are stored as strings; numeric
@@ -52,6 +54,12 @@ type Database struct {
 
 	tuples    []Tuple
 	relations map[string]*Relation
+
+	// Compiled join-path hop plans (see csr.go): lazily built by HopFor,
+	// shared read-only by all readers, invalidated by Insert.
+	planMu      sync.Mutex
+	hopPlans    map[hopKey]*hopEntry
+	hopCompiles atomic.Int64
 }
 
 // NewDatabase creates an empty database over the given schema.
@@ -106,6 +114,7 @@ func (db *Database) Insert(relation string, vals ...Value) (TupleID, error) {
 	for fi, idx := range rel.fkIndex {
 		idx[vals[fi]] = append(idx[vals[fi]], id)
 	}
+	db.invalidatePlans()
 	return id, nil
 }
 

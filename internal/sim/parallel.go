@@ -156,6 +156,6 @@ func propagateGuarded(e *Extractor, r reldb.TupleID, results [][]prop.SparseNeig
 			err = &fault.PanicError{Value: v, Stack: debug.Stack()}
 		}
 	}()
-	results[i] = prop.PropagateMultiSparse(e.db, r, e.trie)
+	results[i] = e.propagate(r)
 	return nil
 }

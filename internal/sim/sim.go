@@ -23,6 +23,7 @@ package sim
 import (
 	"math"
 	"sync"
+	"time"
 
 	"distinct/internal/obs"
 	"distinct/internal/prop"
@@ -63,7 +64,14 @@ func pairAccum(a, b prop.SparseNeighborhood) (interMin, ab, ba float64) {
 			j++
 		default:
 			fa, fb := a.FBs[i], b.FBs[j]
-			interMin += math.Min(fa.Fwd, fb.Fwd)
+			// Plain comparison instead of math.Min: Fwd masses are finite
+			// and non-negative, so the results are identical and the call
+			// (not inlined on all builds) stays off the hottest loop.
+			if fa.Fwd < fb.Fwd {
+				interMin += fa.Fwd
+			} else {
+				interMin += fb.Fwd
+			}
 			ab += fa.Fwd * fb.Bwd
 			ba += fb.Fwd * fa.Bwd
 			i++
@@ -86,7 +94,11 @@ func gallopAccum(s, l prop.SparseNeighborhood, swapped bool) (interMin, ab, ba f
 		}
 		if lk[j] == k {
 			fs, fl := s.FBs[i], l.FBs[j]
-			interMin += math.Min(fs.Fwd, fl.Fwd)
+			if fs.Fwd < fl.Fwd {
+				interMin += fs.Fwd
+			} else {
+				interMin += fl.Fwd
+			}
 			if swapped {
 				ab += fl.Fwd * fs.Bwd
 				ba += fs.Fwd * fl.Bwd
@@ -252,6 +264,16 @@ type Extractor struct {
 	paths []reldb.JoinPath
 	trie  *prop.Trie // shared-prefix walk over all paths at once
 
+	// The compiled CSR plan (see prop.CompiledTrie) is built lazily by the
+	// first propagation — or eagerly by CompilePlans — exactly once, then
+	// shared read-only by every worker. Each propagation borrows a scratch
+	// from the pool, so steady-state propagation does not allocate beyond
+	// the neighborhoods it returns.
+	planOnce sync.Once
+	plan     *prop.CompiledTrie
+	planTime time.Duration
+	scratch  sync.Pool
+
 	mu    sync.RWMutex
 	cache map[reldb.TupleID][]prop.SparseNeighborhood
 
@@ -294,10 +316,46 @@ func (e *Extractor) SetMetrics(r *obs.Registry) {
 	e.prefetchPropagated = r.Counter("sim.prefetch_propagated")
 }
 
+// compiled returns the CSR plan, compiling it on first use. Compilation
+// runs under a sync.Once, so concurrent cold-start propagations share one
+// compile; the scratch pool is initialised inside the same Once, making it
+// safe to Get after any compiled() call.
+func (e *Extractor) compiled() *prop.CompiledTrie {
+	e.planOnce.Do(func() {
+		t0 := time.Now()
+		plan := prop.CompileTrie(e.db, e.trie)
+		e.planTime = time.Since(t0)
+		e.scratch.New = func() any { return plan.NewScratch() }
+		e.plan = plan
+	})
+	return e.plan
+}
+
+// CompilePlans forces plan compilation now instead of at the first
+// propagation, and reports the plan's size along with how long the compile
+// took (zero when the plan already existed). The engine calls it under its
+// "compile_plans" stage so the one-off cost is attributed there rather
+// than smeared into the first name's latency.
+func (e *Extractor) CompilePlans() (hops, edges int, took time.Duration) {
+	plan := e.compiled()
+	hops, edges = plan.Stats()
+	return hops, edges, e.planTime
+}
+
+// propagate computes one reference's neighborhoods on the compiled plan,
+// borrowing a scratch from the pool.
+func (e *Extractor) propagate(r reldb.TupleID) []prop.SparseNeighborhood {
+	plan := e.compiled()
+	s := e.scratch.Get().(*prop.Scratch)
+	nbs := plan.Propagate(r, s)
+	e.scratch.Put(s)
+	return nbs
+}
+
 // Neighborhoods returns the reference's neighborhood along every path,
 // computing and caching them on first use. All paths are walked in one
-// prefix-trie traversal (see prop.PropagateMulti) and finalised into
-// sparse form. Safe for concurrent use.
+// frontier sweep over the compiled CSR plan (see prop.CompiledTrie) and
+// emitted directly in sparse form. Safe for concurrent use.
 func (e *Extractor) Neighborhoods(r reldb.TupleID) []prop.SparseNeighborhood {
 	e.mu.RLock()
 	nbs, ok := e.cache[r]
@@ -307,7 +365,7 @@ func (e *Extractor) Neighborhoods(r reldb.TupleID) []prop.SparseNeighborhood {
 		return nbs
 	}
 	e.cacheMisses.Inc()
-	nbs = prop.PropagateMultiSparse(e.db, r, e.trie)
+	nbs = e.propagate(r)
 	e.mu.Lock()
 	if prev, ok := e.cache[r]; ok {
 		nbs = prev // lost the race: share the first stored result

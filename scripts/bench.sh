@@ -4,6 +4,11 @@
 #
 # Usage:  scripts/bench.sh [OUT.json]        (default BENCH_<n>.json, where
 #                                             n = 1 + highest existing)
+#   env:  BENCH_COUNT  runs per benchmark; ns/op is the per-benchmark
+#                      median, B/op and allocs/op the last run (default 1)
+#         BENCH_PPROF  directory to capture CPU + heap profiles into
+#                      (cpu.pprof / mem.pprof, created if needed; off when
+#                      empty). Inspect with `go tool pprof <file>`.
 #
 # The JSON is a list of {name, iterations, ns_per_op, bytes_per_op,
 # allocs_per_op, metrics{...}} objects; extra b.ReportMetric columns land
@@ -19,36 +24,48 @@ if [[ -z "$out" ]]; then
   while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
   out="BENCH_${n}.json"
 fi
+count="${BENCH_COUNT:-1}"
 
-benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering)$'
+benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering|BenchmarkPropagate|BenchmarkPlanCompile)$'
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run='^$' -bench="$benchre" -benchmem -count=1 . | tee "$raw"
+profargs=()
+if [[ -n "${BENCH_PPROF:-}" ]]; then
+  mkdir -p "$BENCH_PPROF"
+  profargs=(-cpuprofile "$BENCH_PPROF/cpu.pprof" -memprofile "$BENCH_PPROF/mem.pprof")
+fi
 
+go test -run='^$' -bench="$benchre" -benchmem -count="$count" "${profargs[@]}" . | tee "$raw"
+
+# One JSON row per benchmark: median ns/op over the BENCH_COUNT runs,
+# last-seen B/op, allocs/op, and b.ReportMetric columns.
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function median(name,   m, k, tmp, i, j, t) {
+  m = nsamp[name]
+  for (i = 1; i <= m; i++) tmp[i] = samp[name, i]
+  for (i = 1; i <= m; i++)                       # insertion sort; m is tiny
+    for (j = i; j > 1 && tmp[j] < tmp[j-1]; j--) { t = tmp[j]; tmp[j] = tmp[j-1]; tmp[j-1] = t }
+  if (m % 2) return tmp[(m + 1) / 2]
+  return (tmp[m / 2] + tmp[m / 2 + 1]) / 2
+}
 /^(goos|goarch|pkg|cpu):/ { meta[$1] = substr($0, index($0, $2)); next }
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
-  iters = $2
-  ns = ""; bytes = ""; allocs = ""; metrics = ""
+  if (!(name in nsamp)) order[norder++] = name
+  iters[name] = $2
+  metrics = ""
   for (i = 3; i < NF; i += 2) {
     v = $i; u = $(i + 1)
-    if (u == "ns/op") ns = v
-    else if (u == "B/op") bytes = v
-    else if (u == "allocs/op") allocs = v
+    if (u == "ns/op") { nsamp[name]++; samp[name, nsamp[name]] = v }
+    else if (u == "B/op") bytes[name] = v
+    else if (u == "allocs/op") allocs[name] = v
     else {
       gsub(/"/, "\\\"", u)
       metrics = metrics (metrics == "" ? "" : ", ") "\"" u "\": " v
     }
   }
-  row = sprintf("  {\"name\": \"%s\", \"iterations\": %s", name, iters)
-  if (ns != "")     row = row sprintf(", \"ns_per_op\": %s", ns)
-  if (bytes != "")  row = row sprintf(", \"bytes_per_op\": %s", bytes)
-  if (allocs != "") row = row sprintf(", \"allocs_per_op\": %s", allocs)
-  if (metrics != "") row = row ", \"metrics\": {" metrics "}"
-  row = row "}"
-  rows[nrows++] = row
+  if (metrics != "") met[name] = metrics
   next
 }
 END {
@@ -56,8 +73,17 @@ END {
   printf "  \"date\": \"%s\",\n", date
   printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", meta["goos:"], meta["goarch:"], meta["cpu:"]
   printf "  \"benchmarks\": [\n"
-  for (i = 0; i < nrows; i++) printf "  %s%s\n", rows[i], (i < nrows - 1 ? "," : "")
+  for (i = 0; i < norder; i++) {
+    name = order[i]
+    row = sprintf("  {\"name\": \"%s\", \"iterations\": %s", name, iters[name])
+    if (nsamp[name])    row = row sprintf(", \"ns_per_op\": %d", median(name))
+    if (name in bytes)  row = row sprintf(", \"bytes_per_op\": %s", bytes[name])
+    if (name in allocs) row = row sprintf(", \"allocs_per_op\": %s", allocs[name])
+    if (name in met)    row = row ", \"metrics\": {" met[name] "}"
+    row = row "}"
+    printf "  %s%s\n", row, (i < norder - 1 ? "," : "")
+  }
   printf "  ]\n}\n"
 }' "$raw" > "$out"
 
-echo "wrote $out"
+echo "wrote $out (median of $count run(s))"

@@ -7,15 +7,15 @@
 # the threshold fails the script.
 #
 # Usage:  scripts/bench_compare.sh [BASELINE.json] [OUT.json]
-#           BASELINE  default BENCH_1.json
-#           OUT       default BENCH_2.json
+#           BASELINE  default BENCH_3.json (the compiled-plan baseline)
+#           OUT       default BENCH_4.json
 #   env:  BENCH_COUNT      runs per benchmark for the median (default 3)
 #         BENCH_THRESHOLD  allowed regression in percent (default 10)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_1.json}"
-out="${2:-BENCH_2.json}"
+baseline="${1:-BENCH_3.json}"
+out="${2:-BENCH_4.json}"
 count="${BENCH_COUNT:-3}"
 threshold="${BENCH_THRESHOLD:-10}"
 
@@ -24,7 +24,7 @@ if [[ ! -e "$baseline" ]]; then
   exit 1
 fi
 
-benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering)$'
+benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering|BenchmarkPropagate|BenchmarkPlanCompile)$'
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
