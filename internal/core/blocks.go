@@ -69,13 +69,14 @@ func (e *Engine) blocksCtxAt(ctx context.Context, parent *trace.Span, refs []rel
 		return nil, stageErr("prefetch", err)
 	}
 	uf := newUnionFind(len(refs))
+	nbsAll := e.ext.NeighborhoodsAll(refs, nil)
 	// Inverted index: (path, neighbor tuple) -> first reference seen with
 	// it; later references union with the first. The pair is packed into
 	// one word (TupleID is 32-bit; path counts are far below 2^32) so the
 	// map hashes 8 bytes instead of a 16-byte struct.
 	first := make(map[uint64]int)
-	for i, r := range refs {
-		nbs := e.ext.Neighborhoods(r)
+	for i := range refs {
+		nbs := nbsAll[i]
 		for p := range e.paths {
 			if e.resemW[p] == 0 && e.walkW[p] == 0 {
 				continue

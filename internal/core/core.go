@@ -19,8 +19,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
-	"sync"
 	"time"
 
 	"distinct/internal/cluster"
@@ -143,6 +141,12 @@ type Engine struct {
 	resemW []float64 // per-path weights, non-negative, sum 1
 	walkW  []float64
 
+	// matCache, when non-nil (EnableMatrixReuse), caches per-block
+	// PathMatrices keyed on (refs, db version) so weight/threshold sweeps
+	// recombine instead of recompute. Nil (the default) costs one pointer
+	// check per similarity stage.
+	matCache *matrixCache
+
 	timings Timings
 	obs     *obs.Registry // nil when observability is off
 	tr      *trace.Trace  // nil when tracing is off
@@ -227,19 +231,27 @@ func NewEngineCtx(ctx context.Context, db *reldb.Database, cfg Config) (*Engine,
 		tr:    cfg.Trace,
 	}
 	e.ext.SetMetrics(cfg.Obs)
+	e.ext.SetWorkers(cfg.Workers)
 	e.obs.Gauge("engine.paths").Set(float64(len(paths)))
 	e.timings.Expand = expandDur
 	e.timings.Enumerate = enumDur
 
 	// Compile the join paths into CSR plans now, so the one-off cost lands
 	// in engine construction (and its own stage span) instead of inflating
-	// the first propagation. The plan is shared read-only by all workers.
+	// the first propagation. Distinct hops compile in parallel under
+	// Config.Workers; the plan is shared read-only by all workers.
 	t0 = time.Now()
 	sp = cfg.Obs.StartStage("compile_plans")
 	tsp = cfg.Trace.Start("compile_plans")
-	hops, edges, _ := e.ext.CompilePlans()
+	before := ex.HopCompiles()
+	hops, edges, _ := e.ext.CompilePlansCtx(ctx)
 	sp.End(hops)
 	tsp.SetAttrs(trace.Int("hops", int64(hops)), trace.Int("edges", int64(edges)))
+	if ex.HopCompiles() == before {
+		// Every hop plan came out of the database's shared cache — an engine
+		// opened over an already-warm database compiles nothing.
+		tsp.SetAttrs(trace.Bool("reused", true))
+	}
 	tsp.End()
 	e.timings.CompilePlans = time.Since(t0)
 	e.obs.Counter("prop.csr_hops").Add(int64(hops))
@@ -529,40 +541,82 @@ func (e *Engine) PathSimilaritiesCtx(ctx context.Context, refs []reldb.TupleID) 
 
 // pathSimilaritiesCtxAt is PathSimilaritiesCtx with the stage span parented
 // under parent (nil parent: tracing off or disabled for this call).
+//
+// With matrix reuse enabled, a block already computed for the same
+// (refs, database version) is returned as-is; the stage span still appears
+// — once, carrying reused=true — so sweeps show the reuse instead of
+// logging identical heavyweight spans per variant.
 func (e *Engine) pathSimilaritiesCtxAt(ctx context.Context, parent *trace.Span, refs []reldb.TupleID) (*PathMatrices, error) {
 	if err := checkStage(ctx, "path_sims"); err != nil {
 		return nil, err
 	}
 	n := len(refs)
 	np := len(e.paths)
+	pairs := n * (n - 1) / 2
 	sp := e.obs.StartStage("path_sims")
 	tsp := parent.Start("path_sims",
-		trace.Int("refs", int64(n)), trace.Int("pairs", int64(n*(n-1)/2)))
-	defer func() { sp.End(n * (n - 1) / 2); tsp.End() }()
+		trace.Int("refs", int64(n)), trace.Int("pairs", int64(pairs)))
+	version := e.db.Version()
+	if e.matCache != nil {
+		if pm := e.matCache.get(refs, version, np); pm != nil {
+			e.obs.Counter("core.matrix_cache_hits").Inc()
+			tsp.SetAttrs(trace.Bool("reused", true))
+			sp.End(0) // no pairwise work done
+			tsp.End()
+			return pm, nil
+		}
+		e.obs.Counter("core.matrix_cache_misses").Inc()
+	}
 	pm := NewPathMatrices(np, n)
 	if err := e.ext.PrefetchCtx(ctx, refs, e.cfg.Workers, tsp); err != nil {
+		sp.End(0)
+		tsp.End()
 		return nil, stageErr("prefetch", err)
 	}
+	nbs := e.ext.NeighborhoodsAll(refs, nil)
 	nn := n * n
 	// Row i fills entries (i,j) and (j,i) for j > i: every matrix cell is
-	// written by exactly one row worker, so rows can run concurrently.
+	// written by exactly one row worker, so rows can run concurrently. Per
+	// row, each path intersects i's neighborhood against the whole candidate
+	// block in one batched scatter/probe pass (sim.BatchScratch.Block),
+	// bit-identical to per-pair PairKernel calls.
 	err := parallelForCtx(ctx, n, e.cfg.Workers, func(i int) error {
-		ni := e.ext.Neighborhoods(refs[i])
-		for j := i + 1; j < n; j++ {
-			nj := e.ext.Neighborhoods(refs[j])
-			for p := 0; p < np; p++ {
-				r, wij, wji := sim.PairKernel(ni[p], nj[p])
-				base := p * nn
-				pm.RFlat[base+i*n+j], pm.RFlat[base+j*n+i] = r, r
-				pm.WFlat[base+i*n+j] = wij
-				pm.WFlat[base+j*n+i] = wji
+		nc := n - i - 1
+		if nc == 0 {
+			return nil
+		}
+		s := e.ext.BatchScratch()
+		defer e.ext.PutBatchScratch(s)
+		cands, out := s.GrowBuffers(nc)
+		ni := nbs[i]
+		for p := 0; p < np; p++ {
+			for j := i + 1; j < n; j++ {
+				cands[j-i-1] = nbs[j][p]
+			}
+			s.Block(ni[p], cands, out)
+			base := p * nn
+			row := base + i*n
+			for k := range out {
+				j := i + 1 + k
+				pm.RFlat[row+j], pm.RFlat[base+j*n+i] = out[k].Resem, out[k].Resem
+				pm.WFlat[row+j] = out[k].WalkAB
+				pm.WFlat[base+j*n+i] = out[k].WalkBA
 			}
 		}
 		return nil
 	})
 	if err != nil {
+		sp.End(0)
+		tsp.End()
 		return nil, stageErr("path_sims", err)
 	}
+	if e.matCache != nil {
+		if ev := e.matCache.put(refs, version, pm); ev > 0 {
+			e.obs.Counter("core.matrix_cache_evictions").Add(ev)
+		}
+	}
+	sp.End(pairs)
+	tsp.End()
 	return pm, nil
 }
 
@@ -612,6 +666,10 @@ func (e *Engine) Similarities(refs []reldb.TupleID) cluster.Matrix {
 // was built with SamplePairEvery, every Nth pair (by triangular pair index
 // — deterministic, no RNG) gets a "pair" event with its Explain-style
 // per-path breakdown attached to the stage span.
+//
+// With matrix reuse enabled, the combined matrix is derived from the cached
+// (or freshly cached) per-path matrices via Combine — the same floats,
+// since both accumulate per-path contributions in ascending path order.
 func (e *Engine) similaritiesCtxAt(ctx context.Context, parent *trace.Span, refs []reldb.TupleID) (cluster.Matrix, error) {
 	if err := checkStage(ctx, "similarities"); err != nil {
 		return cluster.Matrix{}, err
@@ -621,47 +679,105 @@ func (e *Engine) similaritiesCtxAt(ctx context.Context, parent *trace.Span, refs
 	tsp := parent.Start("similarities",
 		trace.Int("refs", int64(n)), trace.Int("pairs", int64(n*(n-1)/2)))
 	defer func() { sp.End(n * (n - 1) / 2); tsp.End() }()
-	m := cluster.NewMatrix(n)
-	if err := e.ext.PrefetchCtx(ctx, refs, e.cfg.Workers, tsp); err != nil {
-		return cluster.Matrix{}, stageErr("prefetch", err)
-	}
 
-	sampleEvery := 0
-	if tsp != nil {
-		sampleEvery = e.tr.SamplePairEvery()
-	}
-	var sampleMu sync.Mutex
-	var sampled []trace.Event
-	// Resolved once per stage: the per-row injection point below costs one
-	// nil check per row when fault injection is off.
-	freg := fault.From(ctx)
-
-	err := parallelForCtx(ctx, n, e.cfg.Workers, func(i int) error {
-		if freg != nil {
-			if err := freg.Fire(ctx, "core.similarities.row"); err != nil {
-				return err
-			}
+	var m cluster.Matrix
+	if e.matCache != nil {
+		pm, err := e.pathSimilaritiesCtxAt(ctx, tsp, refs)
+		if err != nil {
+			return cluster.Matrix{}, err
 		}
-		ni := e.ext.Neighborhoods(refs[i])
+		m = Combine(pm, e.resemW, e.walkW)
+	} else {
+		m = cluster.NewMatrix(n)
+		if err := e.ext.PrefetchCtx(ctx, refs, e.cfg.Workers, tsp); err != nil {
+			return cluster.Matrix{}, stageErr("prefetch", err)
+		}
+		nbs := e.ext.NeighborhoodsAll(refs, nil)
+		// Resolved once per stage: the per-row injection point below costs
+		// one nil check per row when fault injection is off.
+		freg := fault.From(ctx)
+		err := parallelForCtx(ctx, n, e.cfg.Workers, func(i int) error {
+			if freg != nil {
+				if err := freg.Fire(ctx, "core.similarities.row"); err != nil {
+					return err
+				}
+			}
+			nc := n - i - 1
+			if nc == 0 {
+				return nil
+			}
+			s := e.ext.BatchScratch()
+			defer e.ext.PutBatchScratch(s)
+			cands, out := s.GrowBuffers(nc)
+			ni := nbs[i]
+			rowR, rowW := m.R[i], m.W[i]
+			// Per path, one batched block pass over the row's candidates;
+			// contributions accumulate into the row in ascending path order —
+			// the same order (and therefore the same floats) as the per-pair
+			// loop this replaces.
+			for p := range e.paths {
+				rw, ww := e.resemW[p], e.walkW[p]
+				if rw == 0 && ww == 0 {
+					continue
+				}
+				for j := i + 1; j < n; j++ {
+					cands[j-i-1] = nbs[j][p]
+				}
+				s.Block(ni[p], cands, out)
+				for k := range out {
+					j := i + 1 + k
+					rowR[j] += rw * out[k].Resem
+					rowW[j] += ww * out[k].WalkAB
+					m.W[j][i] += ww * out[k].WalkBA
+				}
+			}
+			// Mirror the symmetric resemblance; each (j,i) cell below the
+			// diagonal is written by exactly one row worker.
+			for j := i + 1; j < n; j++ {
+				m.R[j][i] = rowR[j]
+			}
+			return nil
+		})
+		if err != nil {
+			return cluster.Matrix{}, stageErr("similarities", err)
+		}
+	}
+	if tsp != nil {
+		if every := e.tr.SamplePairEvery(); every > 0 {
+			e.samplePairs(tsp, refs, m, every)
+		}
+	}
+	return m, nil
+}
+
+// samplePairs attaches "pair" events with Explain-style per-path breakdowns
+// for every sampleEvery-th pair (by triangular pair index — a pure function
+// of (i, j, n), so the sample is identical whatever the worker count) to
+// the similarities stage span. The sampled pairs' per-path values are
+// recomputed with the pair-at-a-time reference kernel: the sample is
+// sparse, so the cost is negligible next to the batched fill, and the
+// values are identical. The serial (i, j) walk emits events already in the
+// order the old per-worker collection had to sort into.
+func (e *Engine) samplePairs(tsp *trace.Span, refs []reldb.TupleID, m cluster.Matrix, sampleEvery int) {
+	n := len(refs)
+	nbs := e.ext.NeighborhoodsAll(refs, nil)
+	var events []trace.Event
+	for i := 0; i < n; i++ {
 		// rowBase is the triangular index of pair (i, i+1); pair (i, j) has
-		// index rowBase + (j - i - 1). The index is a pure function of
-		// (i, j, n), so the sample is identical whatever the worker count.
+		// index rowBase + (j - i - 1).
 		rowBase := i*n - i*(i+1)/2
 		for j := i + 1; j < n; j++ {
-			nj := e.ext.Neighborhoods(refs[j])
-			var r, wij, wji float64
-			sampleThis := sampleEvery > 0 && (rowBase+j-i-1)%sampleEvery == 0
+			if (rowBase+j-i-1)%sampleEvery != 0 {
+				continue
+			}
 			var breakdown []byte
 			for p := range e.paths {
 				rw, ww := e.resemW[p], e.walkW[p]
 				if rw == 0 && ww == 0 {
 					continue
 				}
-				pr, pij, pji := sim.PairKernel(ni[p], nj[p])
-				r += rw * pr
-				wij += ww * pij
-				wji += ww * pji
-				if sampleThis && (pr != 0 || pij != 0 || pji != 0) {
+				pr, pij, pji := sim.PairKernel(nbs[i][p], nbs[j][p])
+				if pr != 0 || pij != 0 || pji != 0 {
 					if len(breakdown) > 0 {
 						breakdown = append(breakdown, " | "...)
 					}
@@ -669,40 +785,18 @@ func (e *Engine) similaritiesCtxAt(ctx context.Context, parent *trace.Span, refs
 						e.paths[p].String(), rw*pr, ww*(pij+pji)/2)
 				}
 			}
-			m.R[i][j], m.R[j][i] = r, r
-			m.W[i][j], m.W[j][i] = wij, wji
-			if sampleThis {
-				ev := trace.Event{Name: "pair", Attrs: []trace.Attr{
-					trace.Int("i", int64(i)), trace.Int("j", int64(j)),
-					trace.Int("ref_i", int64(refs[i])), trace.Int("ref_j", int64(refs[j])),
-					trace.Float("resem", r),
-					trace.Float("walk_ij", wij), trace.Float("walk_ji", wji),
-					trace.String("paths", string(breakdown)),
-				}}
-				sampleMu.Lock()
-				sampled = append(sampled, ev)
-				sampleMu.Unlock()
-			}
+			events = append(events, trace.Event{Name: "pair", Attrs: []trace.Attr{
+				trace.Int("i", int64(i)), trace.Int("j", int64(j)),
+				trace.Int("ref_i", int64(refs[i])), trace.Int("ref_j", int64(refs[j])),
+				trace.Float("resem", m.R[i][j]),
+				trace.Float("walk_ij", m.W[i][j]), trace.Float("walk_ji", m.W[j][i]),
+				trace.String("paths", string(breakdown)),
+			}})
 		}
-		return nil
-	})
-	if err != nil {
-		return cluster.Matrix{}, stageErr("similarities", err)
 	}
-	if len(sampled) > 0 {
-		// Workers append in nondeterministic order; sort by (i, j) so the
-		// attached provenance is reproducible run to run.
-		sort.Slice(sampled, func(a, b int) bool {
-			ia, ja := sampled[a].Attrs[0].Value().(int64), sampled[a].Attrs[1].Value().(int64)
-			ib, jb := sampled[b].Attrs[0].Value().(int64), sampled[b].Attrs[1].Value().(int64)
-			if ia != ib {
-				return ia < ib
-			}
-			return ja < jb
-		})
-		tsp.EventAll(sampled)
+	if len(events) > 0 {
+		tsp.EventAll(events)
 	}
-	return m, nil
 }
 
 // ClusterMatrix clusters n references given a precombined similarity matrix

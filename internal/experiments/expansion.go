@@ -62,6 +62,10 @@ func (h *Harness) ExpansionAblation() ([]ExpansionRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: expansion ablation %q: %w", cfg.label, err)
 		}
+		// The grid sweep below re-evaluates the same per-name blocks at
+		// every threshold; with matrix reuse on, only the first pass pays
+		// for the per-path matrices.
+		engine.EnableMatrixReuse(0)
 		if cfg.supervised {
 			if _, err := engine.Train(); err != nil {
 				return nil, err

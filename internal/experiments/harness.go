@@ -107,9 +107,8 @@ type Harness struct {
 	trainReport *core.TrainReport
 
 	// cached per ambiguous name
-	refs     map[string][]reldb.TupleID // expanded-DB reference IDs
-	gold     map[string]eval.Clustering // expanded-DB gold clusters
-	pathSims map[string]*core.PathMatrices
+	refs map[string][]reldb.TupleID // expanded-DB reference IDs
+	gold map[string]eval.Clustering // expanded-DB gold clusters
 }
 
 // NewHarness generates the world and builds the engine (untrained).
@@ -146,13 +145,18 @@ func NewHarnessWorld(world *dblp.World, opts Options) (*Harness, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building engine: %w", err)
 	}
+	// The variant sweeps (Figure 4, min-sim grids) re-cluster the same
+	// per-name blocks under many weightings; the engine's matrix cache makes
+	// every pass after the first a cheap Combine instead of an all-pairs
+	// kernel run, bounded by an LRU byte budget instead of the old
+	// unbounded per-name map.
+	engine.EnableMatrixReuse(0)
 	h := &Harness{
-		Opts:     opts,
-		World:    world,
-		engine:   engine,
-		refs:     make(map[string][]reldb.TupleID),
-		gold:     make(map[string]eval.Clustering),
-		pathSims: make(map[string]*core.PathMatrices),
+		Opts:   opts,
+		World:  world,
+		engine: engine,
+		refs:   make(map[string][]reldb.TupleID),
+		gold:   make(map[string]eval.Clustering),
 	}
 	for _, name := range world.AmbiguousNames() {
 		h.refs[name] = engine.MapRefs(world.Refs(name))
@@ -181,12 +185,11 @@ func (h *Harness) Train() (*core.TrainReport, error) {
 	return rep, nil
 }
 
-// PathSims returns (and caches) the per-path similarity matrices of a name.
-// Opts.NameTimeout, when set, budgets the computation; Opts.Ctx cancels it.
+// PathSims returns the per-path similarity matrices of a name, cached in
+// the engine's matrix-reuse layer (keyed on the reference list and the
+// database version, LRU-bounded). Opts.NameTimeout, when set, budgets the
+// computation; Opts.Ctx cancels it.
 func (h *Harness) PathSims(name string) (*core.PathMatrices, error) {
-	if pm, ok := h.pathSims[name]; ok {
-		return pm, nil
-	}
 	ctx := h.Opts.ctx()
 	if h.Opts.NameTimeout > 0 {
 		var cancel context.CancelFunc
@@ -197,7 +200,6 @@ func (h *Harness) PathSims(name string) (*core.PathMatrices, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: path similarities of %q: %w", name, err)
 	}
-	h.pathSims[name] = pm
 	return pm, nil
 }
 

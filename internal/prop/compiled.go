@@ -1,7 +1,11 @@
 package prop
 
 import (
+	"context"
+	"runtime"
 	"slices"
+	"sync"
+	"sync/atomic"
 
 	"distinct/internal/reldb"
 )
@@ -93,24 +97,131 @@ type CompiledTrie struct {
 // CompileTrie compiles the trie against db, fetching hop plans from the
 // database's shared cache (compiled lazily, each hop once per database).
 func CompileTrie(db *reldb.Database, t *Trie) *CompiledTrie {
+	return CompileTrieCtx(context.Background(), db, t, 0)
+}
+
+// CompileTrieCtx is CompileTrie with the per-hop compiles farmed over
+// `workers` goroutines (0 means GOMAXPROCS). Per-hop compiles are
+// independent, so the warm-up claims hops exactly once (an atomic index)
+// and observes ctx between hops; the serial assembly then finds every plan
+// already in the database's cache. A cancelled context only stops the
+// speculative parallel work — assembly compiles whatever the warm-up
+// skipped, so the returned trie is always complete and correct.
+func CompileTrieCtx(ctx context.Context, db *reldb.Database, t *Trie, workers int) *CompiledTrie {
+	warmHops(ctx, distinctHops(db, t), workers, db.HopFor)
 	return compileTrie(db, t, db.HopFor)
 }
 
 // CompileTrieUncached is CompileTrie bypassing the database's plan cache:
 // every hop is compiled fresh. It exists so compilation cost itself can be
 // measured (BenchmarkPlanCompile) and tested without cache warm-up effects.
+//
+// Like the cached path, each distinct (source relation, step) hop is
+// compiled exactly once per call — that is what an engine open through
+// Database.HopFor costs — and the distinct compiles run on GOMAXPROCS
+// workers when more than one is available.
 func CompileTrieUncached(db *reldb.Database, t *Trie) *CompiledTrie {
+	hops := distinctHops(db, t)
+	plans := make([]*reldb.HopCSR, len(hops))
+	compileAt := func(i int) { plans[i] = reldb.CompileHop(db, hops[i].from, hops[i].step) }
+	if workers := min(runtime.GOMAXPROCS(0), len(hops)); workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(hops) {
+						return
+					}
+					compileAt(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range hops {
+			compileAt(i)
+		}
+	}
+	index := make(map[hopIdent]*reldb.HopCSR, len(hops))
+	for i, id := range hops {
+		index[id] = plans[i]
+	}
 	return compileTrie(db, t, func(from string, st reldb.Step) *reldb.HopCSR {
+		if hop, ok := index[hopIdent{from: from, step: st}]; ok {
+			return hop
+		}
 		return reldb.CompileHop(db, from, st)
 	})
 }
 
+// hopIdent identifies one distinct hop plan: a step applied from a source
+// relation. It is the database plan cache's key, mirrored here.
+type hopIdent struct {
+	from string
+	step reldb.Step
+}
+
+// distinctHops walks the trie and returns each distinct hop once, in
+// deterministic DFS order.
+func distinctHops(db *reldb.Database, t *Trie) []hopIdent {
+	var hops []hopIdent
+	seen := make(map[hopIdent]bool)
+	var walk func(tn *trieNode)
+	walk = func(tn *trieNode) {
+		if id := (hopIdent{from: tn.step.From(db.Schema), step: tn.step}); !seen[id] {
+			seen[id] = true
+			hops = append(hops, id)
+		}
+		for _, c := range tn.children {
+			walk(c)
+		}
+	}
+	for _, c := range t.root.children {
+		walk(c)
+	}
+	return hops
+}
+
+// warmHops compiles the given hops through hopFor on `workers` goroutines
+// (0 means GOMAXPROCS). Each hop is claimed exactly once via an atomic
+// index, and cancellation is observed between hops, so the latency to
+// abort is bounded by one hop compile. With one worker (or one hop) the
+// warm-up is skipped entirely: the caller's serial assembly does the same
+// compiles with no goroutine overhead.
+func warmHops(ctx context.Context, hops []hopIdent, workers int, hopFor func(string, reldb.Step) *reldb.HopCSR) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(hops) {
+		workers = len(hops)
+	}
+	if workers <= 1 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(hops) {
+					return
+				}
+				hopFor(hops[i].from, hops[i].step)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func compileTrie(db *reldb.Database, t *Trie, hopFor func(string, reldb.Step) *reldb.HopCSR) *CompiledTrie {
 	ct := &CompiledTrie{db: db, paths: t.paths}
-	type hopIdent struct {
-		from string
-		step reldb.Step
-	}
 	type pairKey struct{ parent, child *reldb.HopCSR }
 	seen := make(map[hopIdent]bool)
 	brCache := make(map[pairKey][]int32)

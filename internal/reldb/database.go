@@ -60,7 +60,17 @@ type Database struct {
 	planMu      sync.Mutex
 	hopPlans    map[hopKey]*hopEntry
 	hopCompiles atomic.Int64
+
+	// version counts mutations; derived caches (compiled plans, similarity
+	// matrices) key on it so stale entries can never be observed.
+	version atomic.Int64
 }
+
+// Version returns the database's mutation counter: zero for a fresh
+// database, incremented by every Insert. Caches derived from the contents
+// (compiled hop plans, per-block similarity matrices) store the version
+// they were computed at and treat a mismatch as an invalidation.
+func (db *Database) Version() int64 { return db.version.Load() }
 
 // NewDatabase creates an empty database over the given schema.
 func NewDatabase(schema *Schema) *Database {
@@ -114,6 +124,7 @@ func (db *Database) Insert(relation string, vals ...Value) (TupleID, error) {
 	for fi, idx := range rel.fkIndex {
 		idx[vals[fi]] = append(idx[vals[fi]], id)
 	}
+	db.version.Add(1)
 	db.invalidatePlans()
 	return id, nil
 }

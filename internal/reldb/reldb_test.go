@@ -438,3 +438,28 @@ func TestStats(t *testing.T) {
 		t.Errorf("Stats = %q", s)
 	}
 }
+
+// TestDatabaseVersion: the mutation counter starts at zero and bumps on
+// every insert — it is the invalidation key for derived caches (the
+// engine's matrix-reuse layer keys per-block matrices on it).
+func TestDatabaseVersion(t *testing.T) {
+	db := NewDatabase(dblpSchema(t))
+	if got := db.Version(); got != 0 {
+		t.Fatalf("fresh Version = %d, want 0", got)
+	}
+	db.MustInsert("Authors", "wei-wang")
+	if got := db.Version(); got != 1 {
+		t.Fatalf("Version after one insert = %d, want 1", got)
+	}
+	before := db.Version()
+	db.MustInsert("Authors", "jiong-yang")
+	db.MustInsert("Conferences", "VLDB", "VLDB-End.")
+	if got := db.Version(); got != before+2 {
+		t.Fatalf("Version after two more inserts = %d, want %d", got, before+2)
+	}
+	if _, err := db.Insert("Authors", "too", "many", "values"); err == nil {
+		t.Fatal("arity-mismatched insert accepted")
+	} else if got := db.Version(); got != before+2 {
+		t.Fatalf("failed insert bumped Version to %d, want %d", got, before+2)
+	}
+}

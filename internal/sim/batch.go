@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"distinct/internal/prop"
+)
+
+// This file is the batched counterpart of the pair-at-a-time kernel in
+// sim.go: one anchor neighborhood intersected against a whole block of
+// candidate neighborhoods in a single scatter/probe pass. PairKernel stays
+// the reference implementation — the property tests hold the two within
+// 1e-12 (they are in fact bit-identical, which is what keeps the golden
+// outputs stable across the switch).
+//
+// # Layout
+//
+// The anchor's sorted keys are scattered once into a dense reverse index
+// (pos: tuple ID → index into the anchor, -1 when absent), sized by the
+// database's tuple space. Each candidate is then a single linear pass over
+// its own keys probing pos — no merge branching, no per-pair rewind of the
+// anchor. The scatter is O(|anchor|) and amortises over the whole block;
+// each probe is O(|candidate|) with one predictable branch per key.
+//
+// Unscattering walks the anchor's keys again (O(|anchor|), not O(tuple
+// space)), so a warm scratch never re-initialises the dense array.
+//
+// # Equivalence with pairAccum
+//
+// The probe loop walks the candidate's keys in ascending order, so the
+// intersection is accumulated in ascending key order — the same order as
+// the two-pointer merge and the gallop modes — with the same float
+// expressions. The results are therefore bit-identical to PairKernel, not
+// merely within tolerance.
+//
+// # Skew fallback
+//
+// When the anchor is much smaller than a candidate, probing every candidate
+// key costs O(|candidate|) while galloping costs O(|anchor|·log). The block
+// kernel reuses gallopAccum for that regime, under the same size-ratio
+// switch as pairAccum (batchGallopFactor; see BenchmarkPairKernelSkew and
+// RESULTS.txt for the tuning table). The opposite skew — candidate much
+// smaller than anchor — is the probe loop's best case and needs no special
+// handling.
+
+// batchGallopFactor is the anchor:candidate size ratio beyond which the
+// block kernel abandons the scatter table and gallops the anchor's keys
+// through the candidate instead. Benchmarked in BenchmarkPairKernelSkew:
+// the dense probe beats the pairwise merge at every ratio where it applies,
+// and galloping only wins once the candidate is ≥ ~8x larger than the
+// anchor — the same crossover pairAccum's gallopFactor encodes.
+const batchGallopFactor = gallopFactor
+
+// Trip is the fused per-pair kernel result: the set resemblance and both
+// directed walk probabilities, exactly PairKernel's three return values.
+type Trip struct {
+	Resem  float64
+	WalkAB float64 // anchor → candidate
+	WalkBA float64 // candidate → anchor
+}
+
+// BatchScratch holds the dense reverse index and reusable gather buffers of
+// one block pass. A scratch belongs to one goroutine at a time; reusing it
+// (via Extractor.BatchScratch / PutBatchScratch) is what makes the warm
+// path allocation-free. The zero value is usable; Block grows pos on
+// demand.
+type BatchScratch struct {
+	// pos maps a tuple ID to its index in the current anchor, -1 when
+	// absent. Invariant between Block calls: all -1.
+	pos []int32
+
+	// Cands and Out are gather buffers for callers assembling per-path
+	// candidate blocks (core's row passes); Block itself does not touch
+	// them. Grown by the caller, retained across pool round-trips.
+	Cands []prop.SparseNeighborhood
+	Out   []Trip
+}
+
+// NewBatchScratch returns a scratch whose reverse index covers tuple IDs
+// [0, keySpace). Block grows the index if it ever meets a larger key, so
+// keySpace is a sizing hint (db.NumTuples()), not a hard bound.
+func NewBatchScratch(keySpace int) *BatchScratch {
+	s := &BatchScratch{}
+	s.grow(keySpace)
+	return s
+}
+
+// grow extends pos to cover [0, keySpace), filling new entries with -1.
+func (s *BatchScratch) grow(keySpace int) {
+	if keySpace <= len(s.pos) {
+		return
+	}
+	old := len(s.pos)
+	s.pos = append(s.pos, make([]int32, keySpace-old)...)
+	for i := old; i < len(s.pos); i++ {
+		s.pos[i] = -1
+	}
+}
+
+// Block computes PairKernel(anchor, cands[k]) for every candidate in one
+// scatter/probe pass, writing the k-th result to out[k]. out must be at
+// least len(cands) long. Results are bit-identical to calling PairKernel
+// pair by pair. The scratch is restored before returning, so Block may be
+// called again immediately.
+func (s *BatchScratch) Block(anchor prop.SparseNeighborhood, cands []prop.SparseNeighborhood, out []Trip) {
+	ak := anchor.Keys
+	if len(ak) == 0 {
+		for k := range cands {
+			out[k] = Trip{}
+		}
+		return
+	}
+	// Size the reverse index to the largest key probed. Keys are sorted, so
+	// each operand's maximum is its last element. A pool-sized scratch
+	// (db.NumTuples()) never grows here.
+	maxKey := int(ak[len(ak)-1])
+	for _, c := range cands {
+		if n := len(c.Keys); n > 0 && int(c.Keys[n-1]) > maxKey {
+			maxKey = int(c.Keys[n-1])
+		}
+	}
+	s.grow(maxKey + 1)
+	pos := s.pos
+	for i, k := range ak {
+		pos[k] = int32(i)
+	}
+	afbs := anchor.FBs
+	for ci := range cands {
+		b := &cands[ci]
+		bk := b.Keys
+		if len(bk) == 0 {
+			out[ci] = Trip{}
+			continue
+		}
+		var interMin, ab, ba float64
+		if len(ak)*batchGallopFactor < len(bk) {
+			// Anchor much smaller: gallop its few keys through the large
+			// candidate instead of probing every candidate key.
+			interMin, ab, ba = gallopAccum(anchor, *b, false)
+		} else {
+			bfbs := b.FBs
+			for k, key := range bk {
+				j := pos[key]
+				if j < 0 {
+					continue
+				}
+				fa, fb := afbs[j], bfbs[k]
+				if fa.Fwd < fb.Fwd {
+					interMin += fa.Fwd
+				} else {
+					interMin += fb.Fwd
+				}
+				ab += fa.Fwd * fb.Bwd
+				ba += fb.Fwd * fa.Bwd
+			}
+		}
+		var resem float64
+		if denom := anchor.SumFwd + b.SumFwd - interMin; denom > 0 {
+			resem = interMin / denom
+		}
+		out[ci] = Trip{Resem: resem, WalkAB: ab, WalkBA: ba}
+	}
+	// Unscatter by walking the anchor's keys — O(|anchor|), leaving the
+	// all--1 invariant for the next Block call.
+	for _, k := range ak {
+		pos[k] = -1
+	}
+}
+
+// GrowBuffers ensures the gather buffers hold at least n entries, returning
+// them truncated to exactly n. Callers fill Cands per path and read Out
+// after Block; keeping both on the scratch keeps row passes allocation-free
+// once the pool is warm.
+func (s *BatchScratch) GrowBuffers(n int) (cands []prop.SparseNeighborhood, out []Trip) {
+	if cap(s.Cands) < n {
+		s.Cands = make([]prop.SparseNeighborhood, n)
+	}
+	if cap(s.Out) < n {
+		s.Out = make([]Trip, n)
+	}
+	s.Cands, s.Out = s.Cands[:n], s.Out[:n]
+	return s.Cands, s.Out
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distinct/internal/prop"
+	"distinct/internal/reldb"
+)
+
+// blockFixture builds an anchor plus a block of candidate neighborhoods
+// spanning the regimes the batch kernel dispatches between: dense overlap
+// (probe mode), candidates far larger than the anchor (gallop fallback),
+// candidates far smaller (probe best case), disjoint, subset, and empty.
+func blockFixture(rng *rand.Rand) (prop.Neighborhood, []prop.Neighborhood) {
+	anchor := randNB(rng, 1+rng.Intn(40), 0, 200)
+	var cands []prop.Neighborhood
+	add := func(n prop.Neighborhood) { cands = append(cands, n) }
+	add(randNB(rng, 1+rng.Intn(40), 0, 200))    // merge/probe regime
+	add(randNB(rng, 400+rng.Intn(200), 0, 900)) // anchor ≪ candidate: gallop
+	add(randNB(rng, 1+rng.Intn(3), 0, 200))     // candidate ≪ anchor
+	add(randNB(rng, 1+rng.Intn(20), 500, 100))  // disjoint key ranges
+	add(nil)                                    // empty candidate
+	sub := make(prop.Neighborhood)
+	for k := range anchor {
+		if len(sub) == 4 {
+			break
+		}
+		sub[k] = prop.FB{Fwd: rng.Float64(), Bwd: rng.Float64()}
+	}
+	add(sub) // subset of the anchor
+	return anchor, cands
+}
+
+// TestBatchedKernelMatchesPairKernel is the batched kernel's property test:
+// on random sparse neighborhoods covering both the merge and gallop
+// regimes, Block must agree with the pair-at-a-time reference — and, by
+// design (identical accumulation order and float expressions), it must be
+// bit-identical, which is what keeps the golden outputs stable.
+func TestBatchedKernelMatchesPairKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewBatchScratch(0) // deliberately undersized: Block must grow it
+	for trial := 0; trial < 200; trial++ {
+		anchorM, candsM := blockFixture(rng)
+		anchor := anchorM.Sparse()
+		cands := make([]prop.SparseNeighborhood, len(candsM))
+		for i, c := range candsM {
+			cands[i] = c.Sparse()
+		}
+		out := make([]Trip, len(cands))
+		s.Block(anchor, cands, out)
+		for i, c := range cands {
+			r, ab, ba := PairKernel(anchor, c)
+			if out[i].Resem != r || out[i].WalkAB != ab || out[i].WalkBA != ba {
+				t.Fatalf("trial %d cand %d: Block = %+v, PairKernel = (%v, %v, %v)",
+					trial, i, out[i], r, ab, ba)
+			}
+		}
+		for _, p := range s.pos {
+			if p != -1 {
+				t.Fatalf("trial %d: scratch not restored to all -1 after Block", trial)
+			}
+		}
+	}
+}
+
+// TestBatchedKernelMatchesMapKernels holds the batched kernel to the same
+// 1e-12 contract against the legacy map-based reference implementations
+// that the merge-scan kernels carry.
+func TestBatchedKernelMatchesMapKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewBatchScratch(1024)
+	const tol = 1e-12
+	for trial := 0; trial < 100; trial++ {
+		anchorM, candsM := blockFixture(rng)
+		anchor := anchorM.Sparse()
+		cands := make([]prop.SparseNeighborhood, len(candsM))
+		for i, c := range candsM {
+			cands[i] = c.Sparse()
+		}
+		out := make([]Trip, len(cands))
+		s.Block(anchor, cands, out)
+		for i, cm := range candsM {
+			checks := []struct {
+				what      string
+				got, want float64
+			}{
+				{"Resem", out[i].Resem, MapResemblance(anchorM, cm)},
+				{"WalkAB", out[i].WalkAB, MapWalkProb(anchorM, cm)},
+				{"WalkBA", out[i].WalkBA, MapWalkProb(cm, anchorM)},
+			}
+			for _, c := range checks {
+				if math.Abs(c.got-c.want) > tol {
+					t.Fatalf("trial %d cand %d: %s = %v, map kernel %v (|Δ| = %g)",
+						trial, i, c.what, c.got, c.want, math.Abs(c.got-c.want))
+				}
+			}
+		}
+	}
+}
+
+// FuzzBatchedKernel drives Block with fuzzer-shaped neighborhoods and
+// cross-checks every candidate against PairKernel. The corpus bytes encode
+// sizes and a seed, so the fuzzer explores the regime switch (merge vs
+// gallop) and the growth path of the dense index.
+func FuzzBatchedKernel(f *testing.F) {
+	f.Add(uint16(8), uint16(8), uint16(3), int64(1))
+	f.Add(uint16(2), uint16(300), uint16(2), int64(2)) // gallop regime
+	f.Add(uint16(300), uint16(2), uint16(4), int64(3)) // probe best case
+	f.Add(uint16(0), uint16(5), uint16(1), int64(4))   // empty anchor
+	f.Fuzz(func(t *testing.T, aSize, bSize, nCands uint16, seed int64) {
+		const maxSize, maxCands = 600, 12
+		as, bs, nc := int(aSize)%maxSize, int(bSize)%maxSize, 1+int(nCands)%maxCands
+		rng := rand.New(rand.NewSource(seed))
+		anchor := randNB(rng, as, 0, 2*maxSize).Sparse()
+		cands := make([]prop.SparseNeighborhood, nc)
+		for i := range cands {
+			// Alternate size classes so one block crosses regimes.
+			size := bs
+			if i%2 == 1 {
+				size = as/2 + 1
+			}
+			cands[i] = randNB(rng, size, rng.Intn(maxSize), 2*maxSize).Sparse()
+		}
+		out := make([]Trip, nc)
+		s := NewBatchScratch(0)
+		s.Block(anchor, cands, out)
+		for i, c := range cands {
+			r, ab, ba := PairKernel(anchor, c)
+			if out[i].Resem != r || out[i].WalkAB != ab || out[i].WalkBA != ba {
+				t.Fatalf("cand %d: Block = %+v, PairKernel = (%v, %v, %v)", i, out[i], r, ab, ba)
+			}
+		}
+	})
+}
+
+// TestBatchedKernelAllocs pins the block kernel's warm-path allocation
+// count at zero, in the style of TestCompiledAllocsCeiling: once the
+// scratch and its gather buffers are grown, Block and the row assembly
+// around it must not allocate, whatever block it processes.
+func TestBatchedKernelAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	anchorM, candsM := blockFixture(rng)
+	anchor := anchorM.Sparse()
+	block := make([]prop.SparseNeighborhood, len(candsM))
+	for i, c := range candsM {
+		block[i] = c.Sparse()
+	}
+	s := NewBatchScratch(2048) // covers every key the fixture can produce
+	cands, out := s.GrowBuffers(len(block))
+	allocs := testing.AllocsPerRun(100, func() {
+		copy(cands, block)
+		s.Block(anchor, cands, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Block allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestBatchScratchGrow pins the growth path: an undersized scratch must
+// expand to cover the largest key it meets and keep the all--1 invariant
+// in the grown region.
+func TestBatchScratchGrow(t *testing.T) {
+	s := NewBatchScratch(4)
+	a := prop.Neighborhood{
+		reldb.TupleID(1000): {Fwd: 0.5, Bwd: 0.5},
+		reldb.TupleID(2):    {Fwd: 0.5, Bwd: 0.5},
+	}.Sparse()
+	b := prop.Neighborhood{
+		reldb.TupleID(1000): {Fwd: 0.25, Bwd: 1},
+		reldb.TupleID(3000): {Fwd: 0.75, Bwd: 1},
+	}.Sparse()
+	out := make([]Trip, 1)
+	s.Block(a, []prop.SparseNeighborhood{b}, out)
+	if len(s.pos) < 3001 {
+		t.Fatalf("scratch did not grow: len(pos) = %d, want >= 3001", len(s.pos))
+	}
+	r, ab, ba := PairKernel(a, b)
+	if out[0].Resem != r || out[0].WalkAB != ab || out[0].WalkBA != ba {
+		t.Fatalf("grown Block = %+v, PairKernel = (%v, %v, %v)", out[0], r, ab, ba)
+	}
+	for _, p := range s.pos {
+		if p != -1 {
+			t.Fatal("grown scratch not restored to all -1")
+		}
+	}
+}
+
+// TestNeighborhoodsAllMatchesNeighborhoods checks the bulk gather returns
+// the same (shared) cached slices as the per-reference path, for both warm
+// and cold caches, and that the output buffer is reused when offered.
+func TestNeighborhoodsAllMatchesNeighborhoods(t *testing.T) {
+	ext, refs := extractorFixture(t)
+	// Cold: every ref misses and falls back to the per-reference path.
+	cold := ext.NeighborhoodsAll(refs, nil)
+	for i, r := range refs {
+		want := ext.Neighborhoods(r)
+		for p := range want {
+			if cold[i][p].Len() != want[p].Len() || cold[i][p].SumFwd != want[p].SumFwd {
+				t.Fatalf("cold NeighborhoodsAll[%d][%d] differs from Neighborhoods", i, p)
+			}
+		}
+	}
+	// Warm: one lock round-trip, same backing slices.
+	buf := make([][]prop.SparseNeighborhood, 0, len(refs))
+	warm := ext.NeighborhoodsAll(refs, buf)
+	for i, r := range refs {
+		want := ext.Neighborhoods(r)
+		if len(warm[i]) != len(want) {
+			t.Fatalf("warm NeighborhoodsAll[%d] has %d paths, want %d", i, len(warm[i]), len(want))
+		}
+		for p := range want {
+			if len(warm[i][p].Keys) > 0 && &warm[i][p].Keys[0] != &want[p].Keys[0] {
+				t.Fatalf("warm NeighborhoodsAll[%d][%d] does not share the cached slice", i, p)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"sync"
 	"time"
@@ -274,6 +275,16 @@ type Extractor struct {
 	planTime time.Duration
 	scratch  sync.Pool
 
+	// workers bounds the parallelism of plan compilation (0 means
+	// GOMAXPROCS). Set it before the first propagation or CompilePlans
+	// call; the engine wires its Config.Workers through here.
+	workers int
+
+	// batchPool pools BatchScratch instances for the block kernel, sized to
+	// the database's tuple space so the dense reverse index never grows on
+	// the warm path.
+	batchPool sync.Pool
+
 	mu    sync.RWMutex
 	cache map[reldb.TupleID][]prop.SparseNeighborhood
 
@@ -316,18 +327,28 @@ func (e *Extractor) SetMetrics(r *obs.Registry) {
 	e.prefetchPropagated = r.Counter("sim.prefetch_propagated")
 }
 
-// compiled returns the CSR plan, compiling it on first use. Compilation
-// runs under a sync.Once, so concurrent cold-start propagations share one
-// compile; the scratch pool is initialised inside the same Once, making it
-// safe to Get after any compiled() call.
-func (e *Extractor) compiled() *prop.CompiledTrie {
+// SetWorkers bounds the parallelism of plan compilation (0, the default,
+// means GOMAXPROCS). It must be called before the first propagation or
+// CompilePlans call; it has no effect once the plan is compiled.
+func (e *Extractor) SetWorkers(n int) { e.workers = n }
+
+// compileWith compiles the CSR plan under the sync.Once, observing ctx
+// between per-hop compiles (see prop.CompileTrieCtx). Concurrent cold-start
+// propagations share one compile; the scratch pool is initialised inside
+// the same Once, making it safe to Get after any compiled() call.
+func (e *Extractor) compileWith(ctx context.Context) {
 	e.planOnce.Do(func() {
 		t0 := time.Now()
-		plan := prop.CompileTrie(e.db, e.trie)
+		plan := prop.CompileTrieCtx(ctx, e.db, e.trie, e.workers)
 		e.planTime = time.Since(t0)
 		e.scratch.New = func() any { return plan.NewScratch() }
 		e.plan = plan
 	})
+}
+
+// compiled returns the CSR plan, compiling it on first use.
+func (e *Extractor) compiled() *prop.CompiledTrie {
+	e.compileWith(context.Background())
 	return e.plan
 }
 
@@ -337,8 +358,17 @@ func (e *Extractor) compiled() *prop.CompiledTrie {
 // "compile_plans" stage so the one-off cost is attributed there rather
 // than smeared into the first name's latency.
 func (e *Extractor) CompilePlans() (hops, edges int, took time.Duration) {
-	plan := e.compiled()
-	hops, edges = plan.Stats()
+	return e.CompilePlansCtx(context.Background())
+}
+
+// CompilePlansCtx is CompilePlans under a context: the parallel per-hop
+// warm-up observes ctx between hops, so cancellation is bounded by one hop
+// compile. The plan is still fully assembled (serial assembly compiles any
+// hop the interrupted warm-up skipped), so the result is always usable;
+// cancellation here only stops the speculative parallel work.
+func (e *Extractor) CompilePlansCtx(ctx context.Context) (hops, edges int, took time.Duration) {
+	e.compileWith(ctx)
+	hops, edges = e.plan.Stats()
 	return hops, edges, e.planTime
 }
 
@@ -375,6 +405,53 @@ func (e *Extractor) Neighborhoods(r reldb.TupleID) []prop.SparseNeighborhood {
 	e.mu.Unlock()
 	return nbs
 }
+
+// NeighborhoodsAll returns Neighborhoods(r) for every reference in refs,
+// resolving all cached entries under one lock acquisition instead of one
+// per reference. out is reused when large enough (pass nil to allocate).
+// References missing from the cache fall back to Neighborhoods, so the
+// result is always complete; after a Prefetch of refs the fallback never
+// runs. Cache metrics count one hit per cached reference — the same as the
+// per-reference calls the batch replaces.
+func (e *Extractor) NeighborhoodsAll(refs []reldb.TupleID, out [][]prop.SparseNeighborhood) [][]prop.SparseNeighborhood {
+	if cap(out) < len(refs) {
+		out = make([][]prop.SparseNeighborhood, len(refs))
+	} else {
+		out = out[:len(refs)]
+	}
+	missing := 0
+	e.mu.RLock()
+	for i, r := range refs {
+		nbs, ok := e.cache[r]
+		if !ok {
+			missing++
+		}
+		out[i] = nbs // nil marks a miss: cached values are never nil
+	}
+	e.mu.RUnlock()
+	e.cacheHits.Add(int64(len(refs) - missing))
+	if missing == 0 {
+		return out
+	}
+	for i, r := range refs {
+		if out[i] == nil {
+			out[i] = e.Neighborhoods(r) // counts its own hit or miss
+		}
+	}
+	return out
+}
+
+// BatchScratch borrows a block-kernel scratch from the extractor's pool,
+// sized to the database's tuple space. Pair with PutBatchScratch.
+func (e *Extractor) BatchScratch() *BatchScratch {
+	if s, ok := e.batchPool.Get().(*BatchScratch); ok {
+		return s
+	}
+	return NewBatchScratch(e.db.NumTuples())
+}
+
+// PutBatchScratch returns a scratch to the pool for reuse.
+func (e *Extractor) PutBatchScratch(s *BatchScratch) { e.batchPool.Put(s) }
 
 // ResemVector returns the per-path set resemblance feature vector of a pair.
 func (e *Extractor) ResemVector(r1, r2 reldb.TupleID) []float64 {

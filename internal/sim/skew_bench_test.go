@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"distinct/internal/prop"
+)
+
+// BenchmarkPairKernelSkew sweeps the size ratio between the two operands
+// of the similarity kernel, in both pair-at-a-time and batched form. The
+// ratio at which gallop overtakes the linear scan justifies gallopFactor
+// (and batchGallopFactor): below it the dense probe / merge scan wins,
+// above it binary-search galloping through the larger side wins. The
+// measured table lives in RESULTS.txt.
+func BenchmarkPairKernelSkew(b *testing.B) {
+	const anchorSize = 64
+	for _, ratio := range []int{1, 2, 4, 8, 16, 32, 64} {
+		rng := rand.New(rand.NewSource(int64(ratio)))
+		candSize := anchorSize * ratio
+		keyRange := 4 * candSize
+		anchor := randNB(rng, anchorSize, 0, keyRange).Sparse()
+		const nCands = 32
+		cands := make([]prop.SparseNeighborhood, nCands)
+		for i := range cands {
+			cands[i] = randNB(rng, candSize, 0, keyRange).Sparse()
+		}
+		b.Run(fmt.Sprintf("pair/ratio=%d", ratio), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				r, ab, ba := PairKernel(anchor, cands[i%nCands])
+				sink += r + ab + ba
+			}
+			_ = sink
+		})
+		b.Run(fmt.Sprintf("batch/ratio=%d", ratio), func(b *testing.B) {
+			s := NewBatchScratch(keyRange + 1)
+			out := make([]Trip, nCands)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += nCands {
+				s.Block(anchor, cands, out)
+			}
+		})
+	}
+}

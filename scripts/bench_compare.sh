@@ -3,21 +3,27 @@
 #
 # Runs the benchmark suite (the bench.sh set) -count times, takes the
 # per-benchmark median ns/op, writes the snapshot, and compares it against
-# the committed baseline: any benchmark whose median regresses by more than
-# the threshold fails the script.
+# the committed baseline on three axes: median ns/op (tight threshold),
+# and last-seen B/op and allocs/op (looser threshold — the allocator is
+# deterministic but GC-visible sizes wobble with Go releases).
 #
 # Usage:  scripts/bench_compare.sh [BASELINE.json] [OUT.json]
-#           BASELINE  default BENCH_3.json (the compiled-plan baseline)
-#           OUT       default BENCH_4.json
-#   env:  BENCH_COUNT      runs per benchmark for the median (default 3)
-#         BENCH_THRESHOLD  allowed regression in percent (default 10)
+#           BASELINE  default BENCH_4.json (the batched-kernel baseline)
+#           OUT       default BENCH_5.json
+#   env:  BENCH_COUNT          runs per benchmark for the median (default 3)
+#         BENCH_THRESHOLD      allowed ns/op regression in percent (default 10)
+#         BENCH_MEM_THRESHOLD  allowed B/op + allocs/op regression in percent
+#                              (default 25)
+#         BENCH_PPROF          directory to drop cpu.pprof / mem.pprof into
+#                              (default off; CI uploads them as artifacts)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_3.json}"
-out="${2:-BENCH_4.json}"
+baseline="${1:-BENCH_4.json}"
+out="${2:-BENCH_5.json}"
 count="${BENCH_COUNT:-3}"
 threshold="${BENCH_THRESHOLD:-10}"
+mem_threshold="${BENCH_MEM_THRESHOLD:-25}"
 
 if [[ ! -e "$baseline" ]]; then
   echo "bench_compare: baseline $baseline not found" >&2
@@ -28,7 +34,16 @@ benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run='^$' -bench="$benchre" -benchmem -count="$count" . | tee "$raw"
+profileargs=()
+if [[ -n "${BENCH_PPROF:-}" ]]; then
+  mkdir -p "$BENCH_PPROF"
+  profileargs=(-cpuprofile "$BENCH_PPROF/cpu.pprof" -memprofile "$BENCH_PPROF/mem.pprof")
+fi
+
+go test -run='^$' -bench="$benchre" -benchmem -count="$count" "${profileargs[@]}" . | tee "$raw"
+if [[ -n "${BENCH_PPROF:-}" ]]; then
+  echo "bench_compare: profiles in $BENCH_PPROF (cpu.pprof, mem.pprof)"
+fi
 
 # Median ns/op (and last-seen B/op, allocs/op, metrics) per benchmark,
 # emitted in the bench.sh JSON layout so the snapshots stay comparable.
@@ -78,34 +93,46 @@ END {
 }' "$raw" > "$out"
 echo "wrote $out (median of $count runs)"
 
-# Compare: baseline vs new median, fail on > threshold% regression.
-fail=0
-while IFS=$'\t' read -r name base new; do
-  pct=$(awk -v b="$base" -v n="$new" 'BEGIN { printf "%+.1f", (n - b) * 100 / b }')
-  verdict="ok"
-  if awk -v b="$base" -v n="$new" -v t="$threshold" 'BEGIN { exit !(n > b * (1 + t / 100)) }'; then
-    verdict="REGRESSION (> ${threshold}%)"
-    fail=1
-  fi
-  printf '%-36s %14d -> %14d ns/op  %s%%  %s\n' "$name" "$base" "$new" "$pct" "$verdict"
-done < <(awk '
-  FNR == 1 { file++ }
-  match($0, /"name": "[^"]+"/) {
-    name = substr($0, RSTART + 9, RLENGTH - 10)
-    if (match($0, /"ns_per_op": [0-9]+/))
-      ns[file, name] = substr($0, RSTART + 13, RLENGTH - 13)
-    if (file == 1) order[n++] = name
-  }
-  END {
-    for (i = 0; i < n; i++) {
-      name = order[i]
-      if ((2, name) in ns)
-        printf "%s\t%s\t%s\n", name, ns[1, name], ns[2, name]
+# Compare one axis of baseline vs new, failing on > $3 % regression.
+# Rows: name <tab> base <tab> new, extracted per axis from both JSONs.
+compare_axis() {
+  local field="$1" unit="$2" tol="$3"
+  while IFS=$'\t' read -r name base new; do
+    [[ "$base" == "0" ]] && continue  # zero-alloc benchmarks: nothing to gate
+    pct=$(awk -v b="$base" -v n="$new" 'BEGIN { printf "%+.1f", (n - b) * 100 / b }')
+    verdict="ok"
+    if awk -v b="$base" -v n="$new" -v t="$tol" 'BEGIN { exit !(n > b * (1 + t / 100)) }'; then
+      verdict="REGRESSION (> ${tol}%)"
+      fail=1
+    fi
+    printf '%-36s %14d -> %14d %s  %s%%  %s\n' "$name" "$base" "$new" "$unit" "$pct" "$verdict"
+  done < <(awk -v field="$field" '
+    FNR == 1 { file++ }
+    match($0, /"name": "[^"]+"/) {
+      name = substr($0, RSTART + 9, RLENGTH - 10)
+      if (match($0, "\"" field "\": [0-9]+"))
+        val[file, name] = substr($0, RSTART + length(field) + 4, RLENGTH - length(field) - 4)
+      if (file == 1) order[n++] = name
     }
-  }' "$baseline" "$out")
+    END {
+      for (i = 0; i < n; i++) {
+        name = order[i]
+        if ((1, name) in val && (2, name) in val)
+          printf "%s\t%s\t%s\n", name, val[1, name], val[2, name]
+      }
+    }' "$baseline" "$out")
+}
+
+fail=0
+echo "-- ns/op medians (threshold ${threshold}%)"
+compare_axis ns_per_op "ns/op" "$threshold"
+echo "-- bytes/op (threshold ${mem_threshold}%)"
+compare_axis bytes_per_op "B/op" "$mem_threshold"
+echo "-- allocs/op (threshold ${mem_threshold}%)"
+compare_axis allocs_per_op "allocs/op" "$mem_threshold"
 
 if [[ "$fail" -ne 0 ]]; then
-  echo "bench_compare: median regression beyond ${threshold}% vs $baseline" >&2
+  echo "bench_compare: regression beyond threshold vs $baseline" >&2
   exit 1
 fi
-echo "bench_compare: all medians within ${threshold}% of $baseline"
+echo "bench_compare: all medians within ${threshold}% (mem ${mem_threshold}%) of $baseline"
