@@ -1,0 +1,123 @@
+// Serving-path benchmarks: request throughput through the full HTTP stack
+// (mux, admission, coalescing, cache) via direct ServeHTTP — no sockets, so
+// the numbers isolate the serving layer itself. Two regimes matter:
+// cache-hit throughput (the steady state a warm server lives in) and the
+// cold compute path (what a cache miss costs end to end).
+package distinct_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"distinct"
+	"distinct/internal/dblp"
+)
+
+var (
+	benchServeOnce sync.Once
+	benchServeEng  *distinct.Engine
+	benchServeAmb  []string
+)
+
+// benchServeEngine trains one engine on the golden world for all serving
+// benchmarks; the API server over it is rebuilt per benchmark so each run
+// starts with the cache state it means to measure.
+func benchServeEngine(b *testing.B) (*distinct.Engine, []string) {
+	b.Helper()
+	benchServeOnce.Do(func() {
+		cfg := dblp.DefaultConfig()
+		cfg.Communities = 6
+		cfg.AuthorsPerCommunity = 50
+		w, err := dblp.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		eng, err := distinct.Open(w.DB, distinct.Config{
+			RefRelation: dblp.ReferenceRelation,
+			RefAttr:     dblp.ReferenceAttr,
+			SkipExpand:  []string{dblp.TitleAttr},
+			Train: distinct.TrainOptions{
+				NumPositive: 300, NumNegative: 300,
+				Exclude: w.AmbiguousNames(), Seed: 1,
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := eng.Train(); err != nil {
+			panic(err)
+		}
+		benchServeEng = eng
+		benchServeAmb = w.AmbiguousNames()
+	})
+	return benchServeEng, benchServeAmb
+}
+
+func benchServeServer(b *testing.B) (http.Handler, []string) {
+	b.Helper()
+	eng, names := benchServeEngine(b)
+	srv, err := distinct.NewAPIServer(distinct.APIOptions{
+		Backend: eng.APIBackend("paper-key"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	return srv.Handler(), names
+}
+
+// BenchmarkServeThroughput measures warm-path request throughput: every
+// name pre-computed, each request a cache hit. This is the serving layer's
+// overhead floor — mux dispatch, cache probe, JSON encoding.
+func BenchmarkServeThroughput(b *testing.B) {
+	h, names := benchServeServer(b)
+	paths := make([]string, len(names))
+	for i, name := range names {
+		paths[i] = "/v1/name/" + url.PathEscape(name)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", paths[i], nil))
+		if w.Code != http.StatusOK {
+			b.Fatalf("warmup %s: %d %s", name, w.Code, w.Body.String())
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest("GET", paths[i%len(paths)], nil))
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeColdLookup measures the cache-miss path: each iteration
+// runs against a cache-disabled server, so every request goes through
+// admission, coalescing, and a full engine computation.
+func BenchmarkServeColdLookup(b *testing.B) {
+	eng, names := benchServeEngine(b)
+	srv, err := distinct.NewAPIServer(distinct.APIOptions{
+		Backend:    eng.APIBackend("paper-key"),
+		CacheBytes: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	h := srv.Handler()
+	path := "/v1/name/" + url.PathEscape(names[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}

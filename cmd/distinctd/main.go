@@ -1,0 +1,166 @@
+// Command distinctd serves DISTINCT disambiguation over HTTP: it loads (or
+// generates) a world, trains the join-path weights once, and answers
+//
+//	GET  /v1/name/{name}        groups for one name
+//	POST /v1/batch              {"names":[...]} -> per-name results
+//	GET  /v1/names?min_refs=N   the name universe
+//	GET  /healthz               200 while serving, 503 while draining
+//	GET  /metrics, /debug/...   observability (never drain-gated)
+//
+// Requests for the same (name, database version) are coalesced into one
+// engine computation; clean results are cached in a byte-bounded LRU keyed
+// on the database version; a semaphore pool sheds overload as 429 with
+// Retry-After. See DESIGN.md §13.
+//
+// SIGINT/SIGTERM start a graceful drain: /healthz flips to 503 (load
+// balancers stop routing), in-flight requests finish, new ones are refused,
+// and the listener shuts down — bounded by -drain-timeout.
+//
+// Usage:
+//
+//	distinctd -world world.json [-addr :8080]
+//	distinctd -demo               # generate a synthetic world instead
+//	          [-train N] [-seed S] [-unsupervised]
+//	          [-cache-bytes B]    result-cache budget (0 default 16MiB, -1 off)
+//	          [-concurrency N]    engine computation slots (0 = GOMAXPROCS)
+//	          [-max-queue N]      admission queue depth (0 = 4x concurrency)
+//	          [-name-timeout D]   per-request engine budget (degrade past it)
+//	          [-drain-timeout D]  max time to wait for in-flight work at exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distinct"
+	"distinct/internal/dataio"
+	"distinct/internal/dblp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distinctd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		worldPath    = flag.String("world", "", "world file written by dblpgen")
+		demo         = flag.Bool("demo", false, "generate a synthetic demo world instead of loading one")
+		trainN       = flag.Int("train", 300, "training pairs per class")
+		seed         = flag.Int64("seed", 1, "training-set sampling seed")
+		unsupervised = flag.Bool("unsupervised", false, "skip SVM weight learning")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "result-cache budget in bytes (0 = 16MiB default, negative disables)")
+		concurrency  = flag.Int("concurrency", 0, "concurrent engine computations (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "admission queue depth before 429 (0 = 4x concurrency)")
+		nameTimeout  = flag.Duration("name-timeout", 2*time.Second, "per-request engine budget; past it the answer degrades")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight requests")
+		renderAttr   = flag.String("render-attr", "paper-key", "reference attribute rendered into response groups")
+	)
+	flag.Parse()
+
+	lg := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	var (
+		db        *distinct.Database
+		ambiguous []string
+	)
+	switch {
+	case *worldPath != "":
+		w, err := dataio.LoadWorldFile(*worldPath)
+		if err != nil {
+			return err
+		}
+		db = w.DB
+		ambiguous = w.AmbiguousNames()
+		lg.Info("world loaded", "path", *worldPath, "ambiguous_names", len(ambiguous))
+	case *demo:
+		cfg := dblp.DefaultConfig()
+		cfg.Communities = 6
+		cfg.AuthorsPerCommunity = 50
+		w, err := dblp.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		db = w.DB
+		ambiguous = w.AmbiguousNames()
+		lg.Info("demo world generated", "ambiguous_names", len(ambiguous))
+	default:
+		return fmt.Errorf("either -world or -demo is required")
+	}
+
+	// SIGINT/SIGTERM drive the graceful drain below; training also runs
+	// under this context so a shutdown during startup aborts cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := distinct.NewMetrics()
+	eng, err := distinct.OpenCtx(ctx, db, distinct.Config{
+		RefRelation:  "Publish",
+		RefAttr:      "author",
+		SkipExpand:   []string{"Publications.title"},
+		Unsupervised: *unsupervised,
+		Train: distinct.TrainOptions{
+			NumPositive: *trainN, NumNegative: *trainN,
+			Exclude: ambiguous, Seed: *seed,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	if !*unsupervised {
+		t0 := time.Now()
+		rep, err := eng.TrainCtx(ctx)
+		if err != nil {
+			return err
+		}
+		lg.Info("trained", "positive", rep.NumPositive, "negative", rep.NumNegative,
+			"elapsed", time.Since(t0).Round(time.Millisecond))
+	}
+
+	api, err := distinct.NewAPIServer(distinct.APIOptions{
+		Backend:     eng.APIBackend(*renderAttr),
+		Obs:         reg,
+		CacheBytes:  *cacheBytes,
+		Concurrency: *concurrency,
+		MaxQueue:    *maxQueue,
+		NameTimeout: *nameTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer api.Close()
+
+	srv, err := distinct.ServeAPI(*addr, api)
+	if err != nil {
+		return err
+	}
+	lg.Info("serving", "addr", srv.Addr(),
+		"cache_bytes", *cacheBytes, "concurrency", *concurrency, "name_timeout", *nameTimeout)
+
+	<-ctx.Done()
+	stop() // a second signal now kills the process the default way
+
+	// Drain: flip /healthz to 503, refuse new /v1 work, wait for in-flight
+	// requests, then close the listener. Both phases share one deadline.
+	lg.Info("draining", "timeout", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := api.Drain(dctx); err != nil {
+		lg.Warn("drain incomplete", "err", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	lg.Info("stopped")
+	return nil
+}

@@ -1,0 +1,401 @@
+// Command loadgen drives a running distinctd and reports latency
+// percentiles against an SLO. It fetches the name universe from /v1/names,
+// then fires GET /v1/name/{name} requests in one of two modes:
+//
+//   - closed loop (default): -workers goroutines, each issuing the next
+//     request as soon as the previous answer lands — measures capacity;
+//   - open loop (-rate R): requests start on a fixed schedule regardless of
+//     how slow the server answers — measures behaviour under a fixed
+//     offered load, the way real traffic arrives.
+//
+// Before the timed load pass it sweeps the name mix twice — "cold" (each
+// name computed once, result cache empty) and "warm" (the same sweep again,
+// served from cache) — so the cache's effect on p50 is part of every
+// report. Server-side cache and coalescing counters are scraped from
+// /metrics before and after each pass.
+//
+// The final line is the SLO verdict:
+//
+//	SLO PASS: warm p99 18ms <= 250ms, error rate 0.0% <= 1.0%
+//
+// and the exit code is 0 on pass, 2 on fail — wire it straight into CI.
+//
+// Usage:
+//
+//	loadgen -addr localhost:8080 [-duration 10s] [-workers 8]
+//	        [-rate 200]          open loop at 200 req/s instead
+//	        [-min-refs 20]       name universe floor (GET /v1/names)
+//	        [-skip-sweeps]       go straight to the timed load pass
+//	        [-slo-p99 250ms] [-slo-errors 0.01]
+//	        [-out report.json]   machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type passReport struct {
+	Pass       string           `json:"pass"`
+	Mode       string           `json:"mode"`
+	Duration   float64          `json:"duration_s"`
+	Requests   int              `json:"requests"`
+	Errors     int              `json:"errors"`
+	ErrorRate  float64          `json:"error_rate"`
+	Throughput float64          `json:"throughput_rps"`
+	P50MS      float64          `json:"p50_ms"`
+	P95MS      float64          `json:"p95_ms"`
+	P99MS      float64          `json:"p99_ms"`
+	MaxMS      float64          `json:"max_ms"`
+	Statuses   map[string]int   `json:"statuses"`
+	Counters   map[string]int64 `json:"counter_deltas,omitempty"`
+}
+
+type report struct {
+	Target   string       `json:"target"`
+	Names    int          `json:"names"`
+	SLOP99MS float64      `json:"slo_p99_ms"`
+	SLOErr   float64      `json:"slo_error_rate"`
+	Passes   []passReport `json:"passes"`
+	Verdict  string       `json:"verdict"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "distinctd address")
+		duration  = flag.Duration("duration", 10*time.Second, "length of each pass")
+		workers   = flag.Int("workers", 8, "closed-loop concurrency")
+		rate      = flag.Float64("rate", 0, "open-loop request rate per second (0 = closed loop)")
+		minRefs   = flag.Int("min-refs", 20, "name universe floor for /v1/names")
+		maxNames  = flag.Int("max-names", 64, "cap on the name mix (0 = all)")
+		skipSweep = flag.Bool("skip-sweeps", false, "skip the cold/warm cache sweeps before the load pass")
+		seed      = flag.Int64("seed", 1, "name-mix shuffle seed")
+		sloP99    = flag.Duration("slo-p99", 250*time.Millisecond, "p99 latency objective (judged on the load pass)")
+		sloErr    = flag.Float64("slo-errors", 0.01, "error-rate objective (non-2xx fraction)")
+		outPath   = flag.String("out", "", "write the JSON report to this file")
+	)
+	flag.Parse()
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	names, err := fetchNames(client, base, *minRefs)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no names with >=%d refs at %s", *minRefs, base)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	if *maxNames > 0 && len(names) > *maxNames {
+		names = names[:*maxNames]
+	}
+	mode := "closed"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open@%.0frps", *rate)
+	}
+	fmt.Printf("loadgen: %s, %d names (min_refs=%d), %s loop, %v per pass\n",
+		base, len(names), *minRefs, mode, *duration)
+
+	rep := report{
+		Target: base, Names: len(names),
+		SLOP99MS: float64(*sloP99) / float64(time.Millisecond),
+		SLOErr:   *sloErr,
+	}
+	runOne := func(label string, f func() passReport) passReport {
+		before := scrapeCounters(client, base)
+		pr := f()
+		pr.Counters = counterDelta(before, scrapeCounters(client, base))
+		rep.Passes = append(rep.Passes, pr)
+		printPass(pr)
+		return pr
+	}
+	if !*skipSweep {
+		// Each sweep touches every name exactly once: the cold sweep measures
+		// the engine's compute latency, the warm one the cache's.
+		cold := runOne("cold", func() passReport { return runSweep(client, base, "cold", names, *workers) })
+		warm := runOne("warm", func() passReport { return runSweep(client, base, "warm", names, *workers) })
+		if warm.P50MS > 0 {
+			fmt.Printf("cache effect: cold p50 %.2fms / warm p50 %.2fms = %.1fx\n",
+				cold.P50MS, warm.P50MS, cold.P50MS/warm.P50MS)
+		}
+	}
+	last := runOne("load", func() passReport {
+		return runTimed(client, base, "load", names, *duration, *workers, *rate, *seed)
+	})
+
+	// The verdict judges the timed load pass — steady state, caches warm.
+	pass := last.P99MS <= rep.SLOP99MS && last.ErrorRate <= *sloErr
+	rep.Verdict = "PASS"
+	if !pass {
+		rep.Verdict = "FAIL"
+	}
+	fmt.Printf("SLO %s: %s p99 %.1fms <= %.0fms, error rate %.1f%% <= %.1f%%\n",
+		rep.Verdict, last.Pass, last.P99MS, rep.SLOP99MS, last.ErrorRate*100, *sloErr*100)
+
+	if *outPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *outPath)
+	}
+	if !pass {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func fetchNames(client *http.Client, base string, minRefs int) ([]string, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/names?min_refs=%d", base, minRefs))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET /v1/names: %s: %s", resp.Status, raw)
+	}
+	var body struct {
+		Names []string `json:"names"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Names, nil
+}
+
+// scrapeCounters reads the server's counter map from /metrics; nil on any
+// failure — counter deltas are a bonus, never a reason to abort a run.
+func scrapeCounters(client *http.Client, base string) map[string]int64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return nil
+	}
+	return snap.Counters
+}
+
+func counterDelta(before, after map[string]int64) map[string]int64 {
+	if after == nil {
+		return nil
+	}
+	delta := make(map[string]int64)
+	for name, v := range after {
+		if !strings.HasPrefix(name, "serve.") {
+			continue
+		}
+		if d := v - before[name]; d != 0 {
+			delta[name] = d
+		}
+	}
+	return delta
+}
+
+type sample struct {
+	latency time.Duration
+	status  int
+	failed  bool
+}
+
+// collector accumulates samples concurrently and folds them into a report.
+type collector struct {
+	client *http.Client
+	base   string
+
+	mu      sync.Mutex
+	samples []sample
+}
+
+func (c *collector) shoot(name string) { c.shootRetry(name, 0) }
+
+// shootRetry issues one lookup, honoring Retry-After on 429/503 up to
+// `retries` times — the sweep passes use it so every name lands exactly one
+// computed result even when the mix outnumbers the server's compute slots.
+// Only the final attempt's latency is recorded; backoff sleep is not server
+// latency.
+func (c *collector) shootRetry(name string, retries int) {
+	var s sample
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		resp, err := c.client.Get(c.base + "/v1/name/" + url.PathEscape(name))
+		lat := time.Since(t0)
+		s = sample{latency: lat, failed: err != nil}
+		if err != nil {
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		s.status = resp.StatusCode
+		if attempt >= retries ||
+			(s.status != http.StatusTooManyRequests && s.status != http.StatusServiceUnavailable) {
+			break
+		}
+		backoff := time.Second
+		if v, err := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); err == nil && v > 0 {
+			backoff = v
+		}
+		time.Sleep(backoff)
+	}
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+func (c *collector) report(label, mode string, elapsed time.Duration) passReport {
+	pr := passReport{
+		Pass: label, Mode: mode, Duration: elapsed.Seconds(),
+		Statuses: make(map[string]int),
+	}
+	lats := make([]time.Duration, 0, len(c.samples))
+	for _, s := range c.samples {
+		pr.Requests++
+		if s.failed {
+			pr.Errors++
+			pr.Statuses["error"]++
+			continue
+		}
+		pr.Statuses[fmt.Sprint(s.status)]++
+		if s.status < 200 || s.status > 299 {
+			pr.Errors++
+		}
+		lats = append(lats, s.latency)
+	}
+	if pr.Requests > 0 && elapsed > 0 {
+		pr.ErrorRate = float64(pr.Errors) / float64(pr.Requests)
+		pr.Throughput = float64(pr.Requests) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		pr.P50MS = ms(percentile(lats, 0.50))
+		pr.P95MS = ms(percentile(lats, 0.95))
+		pr.P99MS = ms(percentile(lats, 0.99))
+		pr.MaxMS = ms(lats[len(lats)-1])
+	}
+	return pr
+}
+
+// runSweep requests every name exactly once, fanned over `workers`
+// goroutines — one cache generation, no repeats.
+func runSweep(client *http.Client, base, label string, names []string, workers int) passReport {
+	c := &collector{client: client, base: base}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range work {
+				c.shootRetry(name, 8)
+			}
+		}()
+	}
+	for _, name := range names {
+		work <- name
+	}
+	close(work)
+	wg.Wait()
+	return c.report(label, "sweep", time.Since(t0))
+}
+
+func runTimed(client *http.Client, base, label string, names []string,
+	duration time.Duration, workers int, rate float64, seed int64) passReport {
+	c := &collector{client: client, base: base}
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	if rate > 0 {
+		// Open loop: requests start on schedule no matter how the server is
+		// doing — queueing delay shows up as latency, as it should.
+		interval := time.Duration(float64(time.Second) / rate)
+		rng := rand.New(rand.NewSource(seed))
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for time.Now().Before(deadline) {
+			name := names[rng.Intn(len(names))]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.shoot(name)
+			}()
+			<-tick.C
+		}
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(w)))
+				for time.Now().Before(deadline) {
+					c.shoot(names[rng.Intn(len(names))])
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	mode := "closed"
+	if rate > 0 {
+		mode = "open"
+	}
+	return c.report(label, mode, duration)
+}
+
+// percentile reads the q-quantile from an ascending-sorted latency slice
+// (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func printPass(pr passReport) {
+	fmt.Printf("pass %-6s %7d req  %6.0f rps  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  max %7.2fms  errors %d (%.2f%%)\n",
+		pr.Pass, pr.Requests, pr.Throughput, pr.P50MS, pr.P95MS, pr.P99MS, pr.MaxMS, pr.Errors, pr.ErrorRate*100)
+	if len(pr.Counters) > 0 {
+		keys := make([]string, 0, len(pr.Counters))
+		for k := range pr.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%d", strings.TrimPrefix(k, "serve."), pr.Counters[k])
+		}
+		fmt.Printf("            server: %s\n", strings.Join(parts, " "))
+	}
+}

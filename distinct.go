@@ -10,6 +10,7 @@ import (
 	"distinct/internal/obs"
 	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
+	"distinct/internal/serve"
 	"distinct/internal/svm"
 	"distinct/internal/trainset"
 )
@@ -366,6 +367,45 @@ func (e *Engine) MinSim() float64 { return e.inner.MinSim() }
 
 // SetMeasure overrides the cluster similarity measure.
 func (e *Engine) SetMeasure(m Measure) { e.inner.SetMeasure(m) }
+
+// DisambiguateGuarded is Disambiguate under the full per-name resilience
+// ladder — the serving-path entry point. A blown opts.NameTimeout budget
+// triggers one degraded retry (top-k join paths) and then a conservative
+// single group; a panic anywhere in the pipeline becomes an incident, never
+// a crash. The returned Incident is nil on the clean path; a non-nil error
+// means ctx itself ended or the name has no references.
+func (e *Engine) DisambiguateGuarded(ctx context.Context, name string, opts BatchOptions) ([][]TupleID, *Incident, error) {
+	return e.inner.DisambiguateNameGuarded(ctx, name, opts)
+}
+
+// Names lists the names carrying at least minRefs references, sorted — the
+// batch sweep's work list and the name universe the serving API exposes.
+func (e *Engine) Names(minRefs int) []string { return e.inner.NamesWithRefs(minRefs) }
+
+// APIOptions configures the HTTP serving front end (see NewAPIServer).
+type APIOptions = serve.Options
+
+// APIServer is the HTTP serving front end: /v1/name/{name} and /v1/batch
+// over the engine, with request coalescing, a version-keyed result cache,
+// and admission control. See DESIGN.md §13.
+type APIServer = serve.Server
+
+// APIBackend adapts the engine for an APIServer; renderAttr names the
+// reference attribute used to render tuple IDs in responses (e.g. the DBLP
+// generator's "paper-key").
+func (e *Engine) APIBackend(renderAttr string) serve.Backend {
+	return serve.NewEngineBackend(e.inner, renderAttr)
+}
+
+// NewAPIServer builds the serving front end over opts.Backend (usually
+// Engine.APIBackend). Mount Handler on ServeAPI, drain before exit.
+func NewAPIServer(opts APIOptions) (*APIServer, error) { return serve.New(opts) }
+
+// ServeAPI starts the hardened HTTP server stack on addr around the API
+// server's handler (the /v1 endpoints plus /metrics and /debug/...).
+func ServeAPI(addr string, s *APIServer) (*MetricsServer, error) {
+	return obs.ServeHandler(addr, s.Handler())
+}
 
 // Model is a portable snapshot of trained join-path weights; save it after
 // Train and load it into a future engine over the same schema.

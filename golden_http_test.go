@@ -1,0 +1,194 @@
+// Golden HTTP regression test: the serving front end over the fixed-seed
+// golden world must keep producing byte-identical JSON — group renderings,
+// versions, status codes, cache/coalescing metadata — for a scripted set of
+// requests. Wall-clock fields (elapsed_ms) are normalized to zero before
+// comparison; everything else is exact. Regenerate after an intentional
+// change with
+//
+//	go test -run TestGoldenHTTP -update
+//
+// and review the diff of testdata/golden_http.json.
+package distinct_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distinct"
+	"distinct/internal/dblp"
+)
+
+const goldenHTTPPath = "testdata/golden_http.json"
+
+// goldenExchange is one recorded request/response pair.
+type goldenExchange struct {
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Body   string `json:"body,omitempty"`
+	Status int    `json:"status"`
+	JSON   any    `json:"json"`
+}
+
+// normalizeTiming recursively zeroes every elapsed_ms field — the only
+// wall-clock-dependent value the API emits.
+func normalizeTiming(v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		if _, ok := x["elapsed_ms"]; ok {
+			x["elapsed_ms"] = float64(0)
+		}
+		for _, child := range x {
+			normalizeTiming(child)
+		}
+	case []any:
+		for _, child := range x {
+			normalizeTiming(child)
+		}
+	}
+}
+
+func goldenHTTPRun(t *testing.T) []goldenExchange {
+	t.Helper()
+	cfg := dblp.DefaultConfig()
+	cfg.Communities = 6
+	cfg.AuthorsPerCommunity = 50
+	w, err := dblp.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := distinct.Open(w.DB, distinct.Config{
+		RefRelation: dblp.ReferenceRelation,
+		RefAttr:     dblp.ReferenceAttr,
+		SkipExpand:  []string{dblp.TitleAttr},
+		Train: distinct.TrainOptions{
+			NumPositive: 300, NumNegative: 300,
+			Exclude: w.AmbiguousNames(), Seed: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := distinct.NewAPIServer(distinct.APIOptions{
+		Backend: eng.APIBackend("paper-key"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	h := srv.Handler()
+
+	ambiguous := w.AmbiguousNames()
+	if len(ambiguous) == 0 {
+		t.Fatal("golden world has no ambiguous names")
+	}
+	batchBody, err := json.Marshal(map[string]any{"names": ambiguous})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The script: a cold single-name lookup, the same lookup again (must
+	// report cached:true), the full ambiguous batch (first name cached, the
+	// rest computed), a miss, and the name universe above the batch floor.
+	requests := []goldenExchange{
+		{Method: "GET", Path: "/v1/name/" + url.PathEscape(ambiguous[0])},
+		{Method: "GET", Path: "/v1/name/" + url.PathEscape(ambiguous[0])},
+		{Method: "POST", Path: "/v1/batch", Body: string(batchBody)},
+		{Method: "GET", Path: "/v1/name/" + url.PathEscape("No Such Author")},
+		{Method: "GET", Path: "/v1/names?min_refs=20"},
+		{Method: "GET", Path: "/healthz"},
+	}
+	for i := range requests {
+		rq := &requests[i]
+		var body *strings.Reader
+		if rq.Body != "" {
+			body = strings.NewReader(rq.Body)
+		} else {
+			body = strings.NewReader("")
+		}
+		req := httptest.NewRequest(rq.Method, rq.Path, body)
+		if rq.Body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		rq.Status = rec.Code
+		if strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+			var v any
+			if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+				t.Fatalf("%s %s: unparseable response %q: %v", rq.Method, rq.Path, rec.Body.String(), err)
+			}
+			normalizeTiming(v)
+			rq.JSON = v
+		} else {
+			rq.JSON = rec.Body.String()
+		}
+	}
+	return requests
+}
+
+func TestGoldenHTTP(t *testing.T) {
+	got := goldenHTTPRun(t)
+
+	// Round-trip through canonical JSON so the comparison (and the committed
+	// file) is independent of Go-side types.
+	raw, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenHTTPPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenHTTPPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenHTTPPath, len(raw))
+		return
+	}
+
+	want, err := os.ReadFile(goldenHTTPPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		diffAt := 0
+		for diffAt < len(raw) && diffAt < len(want) && raw[diffAt] == want[diffAt] {
+			diffAt++
+		}
+		lo := diffAt - 120
+		if lo < 0 {
+			lo = 0
+		}
+		hiG, hiW := diffAt+120, diffAt+120
+		if hiG > len(raw) {
+			hiG = len(raw)
+		}
+		if hiW > len(want) {
+			hiW = len(want)
+		}
+		t.Fatalf("HTTP responses diverge from %s at byte %d\n got: ...%s...\nwant: ...%s...\n(run with -update if the change is intentional)",
+			goldenHTTPPath, diffAt, raw[lo:hiG], want[lo:hiW])
+	}
+
+	// The script's own invariants, independent of the golden bytes: the
+	// repeat lookup was served from cache, and the miss is a 404 envelope.
+	second := got[1].JSON.(map[string]any)
+	if second["cached"] != true {
+		t.Errorf("repeat lookup not cached: %v", second)
+	}
+	if got[3].Status != http.StatusNotFound {
+		t.Errorf("unknown name status = %d, want 404", got[3].Status)
+	}
+}

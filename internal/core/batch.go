@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,7 +10,6 @@ import (
 
 	"distinct/internal/cluster"
 	"distinct/internal/eval"
-	"distinct/internal/fault"
 	"distinct/internal/obs/trace"
 	"distinct/internal/reldb"
 	"distinct/internal/trainset"
@@ -160,94 +158,32 @@ func (e *Engine) DisambiguateAllCtx(ctx context.Context, opts BatchOptions) (*Ba
 	// the happens-before edge, so no extra locking is needed.
 	done := make([]bool, len(jobs))
 
-	// attempt runs one disambiguation under eng (the full engine or its
-	// degraded view), converting a panic anywhere in the name's stages into
-	// a *fault.PanicError instead of killing the batch.
-	attempt := func(eng *Engine, nctx context.Context, nsp *trace.Span, refs []reldb.TupleID) (groups [][]reldb.TupleID, err error) {
-		err = guard(func() error {
-			var aerr error
-			groups, aerr = eng.disambiguateRefsCtxAt(nctx, nsp, refs)
-			return aerr
-		})
-		return groups, err
-	}
-	withBudget := func() (context.Context, context.CancelFunc) {
-		if opts.NameTimeout > 0 {
-			return context.WithTimeout(ctx, opts.NameTimeout)
-		}
-		return ctx, func() {}
-	}
-
 	batchErr := parallelForCtx(ctx, len(jobs), e.cfg.Workers, func(i int) error {
 		name, refs := jobs[i].name, jobs[i].refs
 		nsp := bsp.Start(trace.NameSpanPrefix+name, trace.Int("refs", int64(len(refs))))
 		t0 := time.Now()
-		finish := func(groups [][]reldb.TupleID, inc *Incident) {
-			results[i] = groups
-			if inc != nil {
-				inc.Elapsed = time.Since(t0)
-				incidents[i] = inc
-				nsp.Event("incident",
-					trace.String("reason", string(inc.Reason)),
-					trace.String("stage", inc.Stage),
-					trace.String("err", inc.Err))
-			}
-			done[i] = true
-			if latency != nil {
-				latency.ObserveDuration(time.Since(t0))
-			}
-			nsp.SetAttrs(trace.Int("groups", int64(len(groups))))
-			nsp.End()
-		}
-
-		nctx, cancel := withBudget()
-		groups, err := attempt(e, nctx, nsp, refs)
-		cancel()
-		if err == nil {
-			finish(groups, nil)
-			return nil
-		}
-		if ctx.Err() != nil {
+		groups, inc, err := e.attemptLadder(ctx, nsp, name, refs, opts)
+		if err != nil {
 			// The parent context ended: not a per-name incident. Stop the
 			// batch; the caller gets the partial result plus the error.
 			nsp.End()
 			return err
 		}
-		stage := incidentStage(err)
-		var pe *fault.PanicError
-		switch {
-		case errors.As(err, &pe):
-			finish(singleGroup(refs), &Incident{
-				Name: name, Stage: stage, Reason: IncidentPanic, Err: pe.Error()})
-		case errors.Is(err, context.DeadlineExceeded):
-			// Per-name budget blown: retry once in degraded mode under a
-			// fresh budget (when the path set can actually be cut).
-			if de := e.degraded(opts.DegradedPaths); de != e {
-				nctx, cancel = withBudget()
-				groups, derr := attempt(de, nctx, nsp, refs)
-				cancel()
-				if derr == nil {
-					finish(groups, &Incident{
-						Name: name, Stage: stage, Reason: IncidentDegraded, Err: err.Error()})
-					return nil
-				}
-				if ctx.Err() != nil {
-					nsp.End()
-					return derr
-				}
-				if errors.As(derr, &pe) {
-					finish(singleGroup(refs), &Incident{
-						Name: name, Stage: incidentStage(derr), Reason: IncidentPanic, Err: pe.Error()})
-					return nil
-				}
-				err, stage = derr, incidentStage(derr)
-			}
-			finish(singleGroup(refs), &Incident{
-				Name: name, Stage: stage, Reason: IncidentTimeout, Err: err.Error()})
-		default:
-			finish(singleGroup(refs), &Incident{
-				Name: name, Stage: stage, Reason: IncidentError, Err: err.Error()})
+		results[i] = groups
+		if inc != nil {
+			inc.Elapsed = time.Since(t0)
+			incidents[i] = inc
+			nsp.Event("incident",
+				trace.String("reason", string(inc.Reason)),
+				trace.String("stage", inc.Stage),
+				trace.String("err", inc.Err))
 		}
+		done[i] = true
+		if latency != nil {
+			latency.ObserveDuration(time.Since(t0))
+		}
+		nsp.SetAttrs(trace.Int("groups", int64(len(groups))))
+		nsp.End()
 		return nil
 	})
 

@@ -114,13 +114,22 @@ func (s *Server) Close() error {
 // arrived, which a WriteTimeout would kill. Handlers inherit the server's
 // base context, which Shutdown cancels when it force-closes connections.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, reg.Handler())
+}
+
+// ServeHandler starts the hardened HTTP server (same listener setup, timeout
+// hardening, base-context cancellation, and Shutdown semantics as Serve)
+// around an arbitrary handler. The serving front end (internal/serve) mounts
+// its API handler — which already embeds the observability endpoints — on it
+// so there is exactly one server stack to reason about.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	base, cancel := context.WithCancel(context.Background())
 	srv := &http.Server{
-		Handler:           reg.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

@@ -64,6 +64,12 @@ type Database struct {
 	// version counts mutations; derived caches (compiled plans, similarity
 	// matrices) key on it so stale entries can never be observed.
 	version atomic.Int64
+
+	// testHookBeforeVersionBump, when non-nil, runs inside Insert after the
+	// data write and plan invalidation but before the version bump — the
+	// only moment the version/invalidation ordering contract is observable.
+	// Set only by white-box tests (see version_order_test.go).
+	testHookBeforeVersionBump func()
 }
 
 // Version returns the database's mutation counter: zero for a fresh
@@ -124,8 +130,20 @@ func (db *Database) Insert(relation string, vals ...Value) (TupleID, error) {
 	for fi, idx := range rel.fkIndex {
 		idx[vals[fi]] = append(idx[vals[fi]], id)
 	}
-	db.version.Add(1)
+	// Ordering matters: plans must be invalidated BEFORE the version bump.
+	// Version-keyed caches (the serve result cache, the matrix-reuse cache)
+	// read the version first and probe second, so a reader that observes the
+	// new version took its planMu-synchronized probe after this invalidation
+	// and can only see plans compiled from post-insert data. With the bump
+	// first there is a window where a reader observes the new version yet
+	// still pulls a stale compiled plan — and then caches results computed
+	// against the old contents under the new version, serving them as fresh
+	// until the next mutation.
 	db.invalidatePlans()
+	if db.testHookBeforeVersionBump != nil {
+		db.testHookBeforeVersionBump()
+	}
+	db.version.Add(1)
 	return id, nil
 }
 

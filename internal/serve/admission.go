@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"distinct/internal/obs"
+)
+
+// Admission control: computations (not requests — coalesced waiters ride
+// free) pass through a semaphore-bounded pool with a bounded wait queue.
+// A full queue sheds load with 429; a draining server refuses with 503;
+// both carry Retry-After so well-behaved clients back off instead of
+// hammering. The queue-depth gauge is the early-warning signal: depth
+// growing toward the bound means the server is saturated.
+
+var (
+	// errOverloaded maps to 429: the compute queue is full.
+	errOverloaded = errors.New("serve: compute queue full")
+	// errDraining maps to 503: the server is shutting down.
+	errDraining = errors.New("serve: draining")
+)
+
+type admission struct {
+	slots    chan struct{} // buffered; one token per concurrent compute
+	maxQueue int64
+	queued   atomic.Int64
+	depth    *obs.Gauge // serve.queue_depth (nil-safe)
+}
+
+func newAdmission(concurrency, maxQueue int, depth *obs.Gauge) *admission {
+	a := &admission{
+		slots:    make(chan struct{}, concurrency),
+		maxQueue: int64(maxQueue),
+		depth:    depth,
+	}
+	for i := 0; i < concurrency; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire obtains a compute slot, queueing up to the bound. It returns a
+// release func, or an error: errOverloaded when the queue is full,
+// otherwise ctx's error when the wait was cut short.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case <-a.slots:
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, errOverloaded
+	}
+	a.depth.Set(float64(a.queued.Load()))
+	defer func() {
+		a.queued.Add(-1)
+		a.depth.Set(float64(a.queued.Load()))
+	}()
+	select {
+	case <-a.slots:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { a.slots <- struct{}{} }

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Per-name result cache: a byte-bounded LRU keyed (name, Database.Version),
+// the serving-layer sibling of core's matrix cache (matcache.go). Versions
+// are monotonic — an Insert bumps the counter and a stale entry's key can
+// never be produced again — so invalidation is free: a probe at the current
+// version drops any older entry for the same name on the way through.
+// Only clean results are cached; degraded or incident-bearing responses are
+// transient by nature and recomputing them is the point.
+
+// DefaultCacheBytes is the result-cache budget Options.CacheBytes = 0
+// selects. Rendered groups are small (tens of bytes per reference), so this
+// comfortably holds every name of a DBLP-scale corpus.
+const DefaultCacheBytes = 16 << 20
+
+type cacheEntry struct {
+	name    string
+	version int64
+	res     *NameResult
+	bytes   int64
+	elem    *list.Element
+}
+
+// resultCache is a byte-bounded LRU over NameResults. Safe for concurrent
+// use. At most one version per name is kept — an older version is dead the
+// moment a newer one exists.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used; values are *cacheEntry
+	m      map[string]*cacheEntry
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, ll: list.New(), m: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached result for (name, version), or nil. An entry at an
+// older version is purged on the way — this is the explicit invalidation
+// point for mutated databases.
+func (c *resultCache) get(name string, version int64) *NameResult {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[name]
+	if !ok {
+		return nil
+	}
+	if e.version != version {
+		c.remove(e)
+		return nil
+	}
+	c.ll.MoveToFront(e.elem)
+	return e.res
+}
+
+// put stores res under (name, version), evicting least-recently-used
+// entries beyond the byte budget, and returns how many entries were
+// evicted (the stale or replaced same-name entry, if any, not counted).
+// An entry larger than the whole budget is still kept alone, mirroring
+// the matrix cache: the repeat lookups the cache exists for would
+// otherwise never hit.
+func (c *resultCache) put(name string, version int64, res *NameResult) int64 {
+	if c == nil {
+		return 0
+	}
+	size := resultBytes(name, res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.m[name]; ok {
+		if prev.version >= version {
+			return 0 // racing store already put this (or a newer) version
+		}
+		c.remove(prev)
+	}
+	e := &cacheEntry{name: name, version: version, res: res, bytes: size}
+	e.elem = c.ll.PushFront(e)
+	c.m[name] = e
+	c.used += size
+	var evicted int64
+	for c.used > c.budget && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		c.remove(back.Value.(*cacheEntry))
+		evicted++
+	}
+	return evicted
+}
+
+// remove unlinks e; callers hold mu.
+func (c *resultCache) remove(e *cacheEntry) {
+	c.ll.Remove(e.elem)
+	delete(c.m, e.name)
+	c.used -= e.bytes
+}
+
+// Len reports how many names are cached (for tests and gauges).
+func (c *resultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// resultBytes estimates a result's resident size: string bytes plus slice
+// and header overhead. An estimate is enough — the budget bounds growth,
+// it does not account memory to the byte.
+func resultBytes(name string, res *NameResult) int64 {
+	n := int64(len(name)) + 96 // entry struct, map slot, list element
+	for _, g := range res.Groups {
+		n += 24 // slice header
+		for _, k := range g {
+			n += int64(len(k)) + 16
+		}
+	}
+	return n
+}

@@ -1,0 +1,248 @@
+// Chaos tests for the serving path: faults injected with internal/fault
+// must surface as incident-bearing HTTP responses — a panic is a 500 with
+// an incident body, a blown deadline is a degraded 200 — and never as a
+// dead process. Graceful shutdown must drain in-flight requests.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"distinct/internal/cluster"
+	"distinct/internal/core"
+	"distinct/internal/dblp"
+	"distinct/internal/fault"
+	"distinct/internal/obs"
+	"distinct/internal/trainset"
+)
+
+var (
+	chaosOnce sync.Once
+	chaosEng  *core.Engine
+	chaosErr  error
+)
+
+// chaosEngine returns a small trained engine shared by the chaos tests
+// (training once keeps the suite fast; the engine is concurrency-safe).
+// The world mirrors internal/core's test world.
+func chaosEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	chaosOnce.Do(func() {
+		cfg := dblp.DefaultConfig()
+		cfg.Seed = 3
+		cfg.Communities = 4
+		cfg.AuthorsPerCommunity = 60
+		cfg.PapersPerAuthor = 3
+		cfg.Ambiguous = []dblp.AmbiguousName{
+			{Name: "Wei Wang", RefsPerAuthor: []int{12, 8, 5}},
+			{Name: "Bin Yu", RefsPerAuthor: []int{7, 5}},
+		}
+		w, err := dblp.Generate(cfg)
+		if err != nil {
+			chaosErr = err
+			return
+		}
+		eng, err := core.NewEngine(w.DB, core.Config{
+			RefRelation: dblp.ReferenceRelation,
+			RefAttr:     dblp.ReferenceAttr,
+			SkipExpand:  []string{dblp.TitleAttr},
+			Supervised:  true,
+			Measure:     cluster.Combined,
+			MinSim:      0.005,
+			Train: trainset.Options{
+				NumPositive: 150, NumNegative: 150, Seed: 11,
+				Exclude: w.AmbiguousNames(),
+			},
+		})
+		if err != nil {
+			chaosErr = err
+			return
+		}
+		if _, err := eng.Train(); err != nil {
+			chaosErr = err
+			return
+		}
+		chaosEng = eng
+	})
+	if chaosErr != nil {
+		t.Fatal(chaosErr)
+	}
+	return chaosEng
+}
+
+func engineServer(t *testing.T, f *fault.Registry, mod func(*Options)) *Server {
+	t.Helper()
+	return newTestServer(t, NewEngineBackend(chaosEngine(t), "paper-key"), func(o *Options) {
+		o.Fault = f
+		if mod != nil {
+			mod(o)
+		}
+	})
+}
+
+// TestChaosEnginePanicIs500WithIncident: a panic injected deep in the
+// engine (the clustering stage) comes back as a 500 whose body carries the
+// incident — reason, stage, error — and the server keeps serving: the very
+// next request, with the one-shot rule spent, disambiguates cleanly.
+func TestChaosEnginePanicIs500WithIncident(t *testing.T) {
+	f := fault.NewRegistry(1)
+	f.Set("core.cluster", fault.Rule{OnHit: 1, Panic: "injected cluster panic"})
+	s := engineServer(t, f, nil)
+
+	w, body := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500; body %s", w.Code, w.Body.String())
+	}
+	inc, ok := body["incident"].(map[string]any)
+	if !ok {
+		t.Fatalf("500 without incident body: %v", body)
+	}
+	if inc["reason"] != "panic" {
+		t.Errorf("incident reason = %v", inc["reason"])
+	}
+	// The conservative fallback still accounts for every reference.
+	if groups, ok := body["groups"].([]any); !ok || len(groups) != 1 {
+		t.Errorf("fallback groups = %v, want one conservative group", body["groups"])
+	}
+
+	// The server survived: the next request is clean and splits the name.
+	w2, body2 := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if w2.Code != http.StatusOK {
+		t.Fatalf("post-panic status %d", w2.Code)
+	}
+	if body2["incident"] != nil {
+		t.Errorf("post-panic incident: %v", body2["incident"])
+	}
+	if groups := body2["groups"].([]any); len(groups) < 2 {
+		t.Errorf("post-panic groups = %d, want the homonym split", len(groups))
+	}
+}
+
+// TestChaosServeLayerPanicRecovered: a panic injected at the serving
+// layer's own fault point (outside the engine's ladder) is recovered by the
+// compute guard — 500 with an incident, process alive.
+func TestChaosServeLayerPanicRecovered(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	f := fault.NewRegistry(1)
+	f.Set("serve.compute", fault.Rule{OnHit: 1, Panic: "injected serve panic"})
+	s := newTestServer(t, b, func(o *Options) { o.Fault = f })
+
+	w, body := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	inc := body["incident"].(map[string]any)
+	if inc["reason"] != "panic" || inc["stage"] != "serve.compute" {
+		t.Errorf("incident = %v", inc)
+	}
+	if got := s.reg.Counter("serve.panics").Value(); got != 1 {
+		t.Errorf("serve.panics = %d", got)
+	}
+	w2, _ := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if w2.Code != http.StatusOK {
+		t.Fatalf("post-panic status %d, server did not survive", w2.Code)
+	}
+}
+
+// TestChaosDelayPastDeadlineDegrades: an injected delay blows the per-name
+// budget; the engine retries on the degraded view and the response is a 200
+// with degraded:true and the incident explaining why — the client gets an
+// answer, honestly labeled.
+func TestChaosDelayPastDeadlineDegrades(t *testing.T) {
+	f := fault.NewRegistry(1)
+	f.Set("core.similarities", fault.Rule{OnHit: 1, Delay: 10 * time.Second})
+	s := engineServer(t, f, func(o *Options) { o.NameTimeout = 150 * time.Millisecond })
+
+	w, body := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200; body %s", w.Code, w.Body.String())
+	}
+	if body["degraded"] != true {
+		t.Fatalf("degraded flag missing: %v", body)
+	}
+	inc, ok := body["incident"].(map[string]any)
+	if !ok {
+		t.Fatalf("degraded response without incident: %v", body)
+	}
+	if r := inc["reason"]; r != "degraded" && r != "timeout" {
+		t.Errorf("incident reason = %v", r)
+	}
+	if got := s.reg.Counter("serve.degraded").Value(); got != 1 {
+		t.Errorf("serve.degraded = %d", got)
+	}
+}
+
+// TestDrainWaitsForInflight extends the obs drain test to the serving
+// stack: a slow in-flight request completes with its real response while
+// new requests get 503, and Drain returns only after the last in-flight
+// request is done. Runs over a real listener via obs.ServeHandler — the
+// exact stack cmd/distinctd ships.
+func TestDrainWaitsForInflight(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	b.block = make(chan struct{})
+	b.started = make(chan string, 1)
+	s := newTestServer(t, b, nil)
+	srv, err := obs.ServeHandler("127.0.0.1:0", s.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	type reply struct {
+		code int
+		body []byte
+		err  error
+	}
+	slow := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/name/Wei%20Wang")
+		if err != nil {
+			slow <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		slow <- reply{code: resp.StatusCode, body: raw}
+	}()
+	<-b.started // the slow request is inside its computation
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(context.Background()) }()
+
+	// New requests are refused while the drain waits.
+	waitUntil(t, "drain gate closed", func() bool {
+		resp, err := http.Get(base + "/v1/name/Wei%20Wang")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain returned (%v) with a request still in flight", err)
+	default:
+	}
+
+	close(b.block)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	r := <-slow
+	if r.err != nil || r.code != http.StatusOK {
+		t.Fatalf("in-flight request: code=%d err=%v", r.code, r.err)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(r.body, &body); err != nil {
+		t.Fatalf("in-flight response body: %v", err)
+	}
+	if body["name"] != "Wei Wang" {
+		t.Errorf("in-flight response: %v", body)
+	}
+}

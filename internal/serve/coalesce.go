@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// Request coalescing: duplicate in-flight lookups of one (name, version)
+// share a single engine computation. The shape is singleflight with one
+// deliberate difference — leader handoff. The computation runs in its own
+// goroutine under a context derived from the server's base context, NOT from
+// the first caller's request context, so a cancelled leader does not poison
+// the waiters: they keep waiting and get the result. The flight context is
+// cancelled only when the last waiter walks away, at which point nobody
+// wants the answer.
+
+// flightKey identifies one coalesced computation. The version is part of
+// the key so requests racing an Insert never share results across database
+// states: a waiter only ever receives a result computed at the version it
+// asked for.
+type flightKey struct {
+	name    string
+	version int64
+}
+
+// flight is one in-progress computation plus its waiters.
+type flight struct {
+	done    chan struct{} // closed after res/err are final
+	res     *NameResult
+	err     error
+	cancel  context.CancelFunc // cancels the compute context
+	waiters int                // guarded by flightGroup.mu
+}
+
+// flightGroup coalesces concurrent do calls per flightKey.
+type flightGroup struct {
+	base context.Context // parent of every compute context
+
+	mu      sync.Mutex
+	flights map[flightKey]*flight
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, flights: make(map[flightKey]*flight)}
+}
+
+// do returns compute's result for key, running it at most once across all
+// concurrent callers. coalesced reports whether this caller joined an
+// existing flight (false for the caller that created it). When ctx ends
+// before the flight finishes, do returns ctx's error; the flight itself is
+// cancelled only if this was the last waiter.
+func (g *flightGroup) do(ctx context.Context, key flightKey, compute func(context.Context) (*NameResult, error)) (res *NameResult, coalesced bool, err error) {
+	g.mu.Lock()
+	f, coalesced := g.flights[key]
+	if !coalesced {
+		fctx, cancel := context.WithCancel(g.base)
+		f = &flight{done: make(chan struct{}), cancel: cancel}
+		g.flights[key] = f
+		go func() {
+			r, e := compute(fctx)
+			g.mu.Lock()
+			f.res, f.err = r, e
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+			cancel()
+			close(f.done)
+		}()
+	}
+	f.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		g.mu.Lock()
+		f.waiters--
+		g.mu.Unlock()
+		return f.res, coalesced, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		if abandoned {
+			select {
+			case <-f.done:
+				// Compute finished while we were giving up; nothing to cancel.
+				abandoned = false
+			default:
+				// Last waiter gone mid-compute: unregister the flight so the
+				// next request starts fresh rather than joining a computation
+				// about to be cancelled.
+				if g.flights[key] == f {
+					delete(g.flights, key)
+				}
+			}
+		}
+		g.mu.Unlock()
+		if abandoned {
+			f.cancel()
+		}
+		return nil, coalesced, ctx.Err()
+	}
+}
+
+// inflight reports how many flights are currently running (for tests).
+func (g *flightGroup) inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

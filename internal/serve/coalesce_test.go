@@ -1,0 +1,216 @@
+// Race/concurrency suite for the coalescing layer, in the deterministic
+// rendezvous style of cockroach's rangefeed task tests: goroutines are
+// walked to known states via start signals, waiter-count polling, and block
+// channels — never bare sleeps — so every assertion holds under -race and
+// arbitrary scheduling.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"distinct/internal/fault"
+)
+
+// TestCoalesceSingleComputeForConcurrentRequests is the headline guarantee:
+// N=64 goroutines look up the same name concurrently, exactly one engine
+// invocation runs, and every waiter receives the identical result pointer.
+func TestCoalesceSingleComputeForConcurrentRequests(t *testing.T) {
+	const n = 64
+	b := newStubBackend("Wei Wang")
+	b.block = make(chan struct{})
+	f := fault.NewRegistry(0)
+	s := newTestServer(t, b, func(o *Options) { o.Fault = f })
+	key := flightKey{name: "Wei Wang", version: 0}
+
+	var wg sync.WaitGroup
+	results := make([]*NameResult, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := s.lookup(context.Background(), "Wei Wang")
+			results[i], errs[i] = res, err
+		}(i)
+	}
+	// Every goroutine must be parked on the one flight before the compute
+	// is allowed to finish — otherwise a fast compute could complete before
+	// late goroutines even probe, and they would hit the cache instead of
+	// coalescing (a different, weaker scenario).
+	waitUntil(t, "all 64 waiters joined", func() bool { return s.flights.waitersFor(key) == n })
+	close(b.block)
+	wg.Wait()
+
+	if got := b.calls.Load(); got != 1 {
+		t.Fatalf("backend invoked %d times for 64 concurrent identical requests, want exactly 1", got)
+	}
+	if got := f.Hits("serve.compute"); got != 1 {
+		t.Fatalf("serve.compute fault point hit %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d failed: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different result pointer than waiter 0", i)
+		}
+	}
+	if got := s.reg.Counter("serve.coalesced").Value(); got != n-1 {
+		t.Errorf("serve.coalesced = %d, want %d (everyone but the flight creator)", got, n-1)
+	}
+	if got := s.reg.Counter("serve.computes").Value(); got != 1 {
+		t.Errorf("serve.computes = %d, want 1", got)
+	}
+}
+
+// TestCoalesceCancelledLeaderHandsOff: the goroutine that created the
+// flight cancels its request mid-compute; the computation keeps running for
+// the remaining waiters, who all receive the result. A singleflight that
+// ties the compute to the leader's context would fail every waiter here.
+func TestCoalesceCancelledLeaderHandsOff(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	b.block = make(chan struct{})
+	b.started = make(chan string, 1)
+	s := newTestServer(t, b, nil)
+	key := flightKey{name: "Wei Wang", version: 0}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.lookup(leaderCtx, "Wei Wang")
+		leaderErr <- err
+	}()
+	<-b.started // the leader's flight is computing
+	waitUntil(t, "leader parked", func() bool { return s.flights.waitersFor(key) == 1 })
+
+	const followers = 5
+	var wg sync.WaitGroup
+	results := make([]*NameResult, followers)
+	errs := make([]error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := s.lookup(context.Background(), "Wei Wang")
+			results[i], errs[i] = res, err
+		}(i)
+	}
+	waitUntil(t, "followers joined", func() bool { return s.flights.waitersFor(key) == followers+1 })
+
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader returned %v, want context.Canceled", err)
+	}
+	waitUntil(t, "leader left the flight", func() bool { return s.flights.waitersFor(key) == followers })
+
+	close(b.block)
+	wg.Wait()
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("follower %d poisoned by leader cancel: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i] != results[0] {
+			t.Fatalf("follower %d result pointer differs", i)
+		}
+	}
+	if got := b.calls.Load(); got != 1 {
+		t.Fatalf("backend invoked %d times, want 1 (handoff, not recompute)", got)
+	}
+}
+
+// TestCoalesceLastWaiterCancelsCompute: when every requester is gone, the
+// flight's context is cancelled — the engine stops burning CPU on an answer
+// nobody wants — and the next request starts a fresh computation.
+func TestCoalesceLastWaiterCancelsCompute(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	b.block = make(chan struct{})
+	b.started = make(chan string, 2)
+	s := newTestServer(t, b, nil)
+	key := flightKey{name: "Wei Wang", version: 0}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.lookup(ctx, "Wei Wang")
+		errCh <- err
+	}()
+	<-b.started
+	waitUntil(t, "sole waiter parked", func() bool { return s.flights.waitersFor(key) == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("lookup returned %v, want context.Canceled", err)
+	}
+	// The abandoned flight's context must be cancelled so the blocked stub
+	// unwinds with ctx.Err rather than waiting forever, and the flight
+	// table must be empty so the next request recomputes.
+	waitUntil(t, "abandoned flight unwound", func() bool { return s.flights.inflight() == 0 })
+
+	close(b.block) // let the fresh computation below run to completion
+	res, _, err := s.lookup(context.Background(), "Wei Wang")
+	if err != nil || res == nil {
+		t.Fatalf("post-abandon lookup: res=%v err=%v", res, err)
+	}
+	if got := b.calls.Load(); got != 2 {
+		t.Fatalf("backend invoked %d times, want 2 (abandoned + fresh)", got)
+	}
+	_ = <-b.started
+}
+
+// TestCoalesceKeyIncludesVersion: requests before and after a database
+// mutation never share a flight or a cached result — the version is part of
+// both keys.
+func TestCoalesceKeyIncludesVersion(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	s := newTestServer(t, b, nil)
+	r0, _, err := s.lookup(context.Background(), "Wei Wang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.version.Add(1) // an Insert happened
+	r1, _, err := s.lookup(context.Background(), "Wei Wang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.calls.Load() != 2 {
+		t.Fatalf("backend invoked %d times across a version bump, want 2", b.calls.Load())
+	}
+	if r0 == r1 {
+		t.Fatal("results across a version bump share a pointer")
+	}
+	if r0.Version != 0 || r1.Version != 1 {
+		t.Fatalf("result versions = %d, %d; want 0, 1", r0.Version, r1.Version)
+	}
+}
+
+// TestCoalesceSecondWaveHitsCache: after a coalesced flight completes, a
+// second wave of the same name is served from the result cache without any
+// new computation.
+func TestCoalesceSecondWaveHitsCache(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	s := newTestServer(t, b, nil)
+	first, _, err := s.lookup(context.Background(), "Wei Wang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		res, meta, err := s.lookup(context.Background(), "Wei Wang")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !meta.cached {
+			t.Fatalf("wave-2 lookup %d not served from cache", i)
+		}
+		if res != first {
+			t.Fatalf("wave-2 lookup %d returned a different pointer", i)
+		}
+	}
+	if b.calls.Load() != 1 {
+		t.Fatalf("backend invoked %d times, want 1", b.calls.Load())
+	}
+	if got := s.reg.Counter("serve.cache_hits").Value(); got != 8 {
+		t.Errorf("serve.cache_hits = %d, want 8", got)
+	}
+}

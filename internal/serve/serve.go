@@ -1,0 +1,527 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"distinct/internal/core"
+	"distinct/internal/fault"
+	"distinct/internal/obs"
+)
+
+// Defaults for the knobs Options leaves zero.
+const (
+	// DefaultMaxBatchNames bounds one POST /v1/batch request.
+	DefaultMaxBatchNames = 256
+	// DefaultMaxBodyBytes bounds a request body read.
+	DefaultMaxBodyBytes = 1 << 20
+	// DefaultRetryAfter is the Retry-After hint on 429/503 responses.
+	DefaultRetryAfter = time.Second
+)
+
+// Options configures a Server. Backend is required; everything else has a
+// sensible zero value.
+type Options struct {
+	// Backend computes disambiguations (required).
+	Backend Backend
+	// Obs, when non-nil, receives the serve.* counters, gauges, histograms
+	// and stage spans. Nil records nothing and costs nothing.
+	Obs *obs.Registry
+	// Fault, when non-nil, is carried in every compute context so the
+	// "serve.compute" injection point (and the engine's core.* points
+	// beneath it) can fire — chaos tests and drills only.
+	Fault *fault.Registry
+	// CacheBytes is the result-cache budget: 0 means DefaultCacheBytes,
+	// negative disables caching.
+	CacheBytes int64
+	// Concurrency bounds simultaneous engine computations (0 = GOMAXPROCS).
+	Concurrency int
+	// MaxQueue bounds computations waiting for a slot before 429s start
+	// (0 = 4×Concurrency).
+	MaxQueue int
+	// NameTimeout is the per-name compute budget driving the engine's
+	// degrade ladder (0 = defaultNameTimeout).
+	NameTimeout time.Duration
+	// DegradedPaths caps the degraded retry's join paths (0 = engine default).
+	DegradedPaths int
+	// MaxBatchNames bounds one batch request (0 = DefaultMaxBatchNames).
+	MaxBatchNames int
+	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// RetryAfter is the backoff hint on 429/503 (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+}
+
+// IncidentBody is the JSON rendering of a per-name incident. Elapsed is
+// deliberately omitted: response bodies stay byte-deterministic for the
+// golden HTTP test, and latency is reported per-request in the envelope.
+type IncidentBody struct {
+	Reason string `json:"reason"`
+	Stage  string `json:"stage,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// NameResult is the computed outcome for one name at one database version —
+// the unit the cache stores and coalesced waiters share (every waiter of one
+// flight receives the same *NameResult). It is immutable once built.
+type NameResult struct {
+	Name    string `json:"name"`
+	Version int64  `json:"version"`
+	NumRefs int    `json:"num_refs"`
+	// Groups holds one sorted key list per inferred real object.
+	Groups [][]string `json:"groups"`
+	// Degraded marks a result computed under the reduced path set or kept
+	// as one conservative group after a blown budget — real output, lower
+	// fidelity; Incident says which.
+	Degraded bool          `json:"degraded,omitempty"`
+	Incident *IncidentBody `json:"incident,omitempty"`
+}
+
+// nameEnvelope is one request's view of a NameResult: the shared result
+// plus request-scoped serving metadata.
+type nameEnvelope struct {
+	*NameResult
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// batchRequest is the POST /v1/batch body.
+type batchRequest struct {
+	Names []string `json:"names"`
+}
+
+// batchItem is one name's outcome inside a batch response: an envelope, or
+// an error for that name alone (the batch itself still succeeds).
+type batchItem struct {
+	*NameResult
+	Name      string `json:"name"`
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Status    int    `json:"status,omitempty"`
+}
+
+// batchResponse is the POST /v1/batch reply.
+type batchResponse struct {
+	Version   int64       `json:"version"`
+	Results   []batchItem `json:"results"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// errorBody is the error envelope every non-2xx response carries.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// errNotFound maps to 404: the name has no references.
+var errNotFound = errors.New("serve: unknown name")
+
+// Server is the serving front end. Create with New, mount Handler on
+// obs.ServeHandler (or any http.Server), Drain before exit.
+type Server struct {
+	backend     Backend
+	reg         *obs.Registry
+	cache       *resultCache
+	flights     *flightGroup
+	adm         *admission
+	handler     http.Handler
+	nameTimeout time.Duration
+	degraded    int
+	maxBatch    int
+	maxBody     int64
+	retryAfter  time.Duration
+
+	baseCancel context.CancelFunc
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server over opts.Backend.
+func New(opts Options) (*Server, error) {
+	if opts.Backend == nil {
+		return nil, errors.New("serve: Options.Backend is required")
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	maxQueue := opts.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 4 * conc
+	}
+	s := &Server{
+		backend:     opts.Backend,
+		reg:         opts.Obs,
+		nameTimeout: opts.NameTimeout,
+		degraded:    opts.DegradedPaths,
+		maxBatch:    opts.MaxBatchNames,
+		maxBody:     opts.MaxBodyBytes,
+		retryAfter:  opts.RetryAfter,
+	}
+	if s.nameTimeout <= 0 {
+		s.nameTimeout = defaultNameTimeout
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatchNames
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = DefaultRetryAfter
+	}
+	switch {
+	case opts.CacheBytes < 0:
+		// caching disabled
+	case opts.CacheBytes == 0:
+		s.cache = newResultCache(DefaultCacheBytes)
+	default:
+		s.cache = newResultCache(opts.CacheBytes)
+	}
+	// Flights compute under the server's base context — not any request's —
+	// so a cancelled leader hands off to its waiters. The fault registry
+	// travels in it so injection reaches the compute path.
+	base := context.Background()
+	if opts.Fault != nil {
+		base = fault.With(base, opts.Fault)
+	}
+	base, s.baseCancel = context.WithCancel(base)
+	s.flights = newFlightGroup(base)
+	s.adm = newAdmission(conc, maxQueue, s.reg.Gauge("serve.queue_depth"))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/name/{name}", s.api(s.handleName))
+	mux.HandleFunc("POST /v1/batch", s.api(s.handleBatch))
+	mux.HandleFunc("GET /v1/names", s.api(s.handleNames))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The observability endpoints ride on the same mux (and the same
+	// hardened server), outside the drain gate so a draining process can
+	// still be scraped.
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/", s.reg.Handler())
+	s.handler = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler: the /v1 API plus the
+// observability endpoints (/metrics, /debug/...).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Drain stops admitting /v1 requests (they get 503 + Retry-After) and waits
+// for the in-flight ones to finish, or until ctx expires. Safe to call more
+// than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close cancels the base context under every in-flight computation. Call
+// after Drain (or instead of it, for a hard stop).
+func (s *Server) Close() { s.baseCancel() }
+
+// enter registers one in-flight request, refusing when draining. The mutex
+// makes the draining check and the WaitGroup add atomic with respect to
+// Drain, so Drain's Wait can never miss a request it should cover.
+func (s *Server) enter() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// api wraps a /v1 handler with the drain gate, request counting, and
+// latency observation.
+func (s *Server) api(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.enter() {
+			s.reg.Counter("serve.rejected_503").Inc()
+			s.writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		defer s.inflight.Done()
+		s.reg.Counter("serve.requests").Inc()
+		t0 := time.Now()
+		h(w, r)
+		s.reg.Histogram("serve.request_seconds", nil).ObserveDuration(time.Since(t0))
+	}
+}
+
+// lookupMeta is request-scoped serving metadata for one lookup.
+type lookupMeta struct {
+	cached    bool
+	coalesced bool
+}
+
+// lookup resolves one name: version read, cache probe, coalesced compute.
+// The version is read BEFORE the cache probe — with the reverse order a
+// concurrent Insert could slip between them and the probe would hand back
+// a result computed against the old contents labeled with the new version.
+// reldb.Insert upholds the matching edge on its side (invalidate before
+// bump; see version_order_test.go).
+func (s *Server) lookup(ctx context.Context, name string) (*NameResult, lookupMeta, error) {
+	if s.backend.NumRefs(name) == 0 {
+		return nil, lookupMeta{}, errNotFound
+	}
+	version := s.backend.Version()
+	if res := s.cache.get(name, version); res != nil {
+		s.reg.Counter("serve.cache_hits").Inc()
+		return res, lookupMeta{cached: true}, nil
+	}
+	s.reg.Counter("serve.cache_misses").Inc()
+	res, coalesced, err := s.flights.do(ctx, flightKey{name: name, version: version},
+		func(fctx context.Context) (*NameResult, error) {
+			return s.compute(fctx, name, version)
+		})
+	if coalesced {
+		s.reg.Counter("serve.coalesced").Inc()
+	}
+	return res, lookupMeta{coalesced: coalesced}, err
+}
+
+// compute runs one name's disambiguation: admission slot, fault point,
+// engine call, cache store. It runs inside a flight goroutine under the
+// server base context; a panic here (its own, or injected at
+// "serve.compute") is recovered into an incident-bearing result — one bad
+// request must never take the process down.
+func (s *Server) compute(fctx context.Context, name string, version int64) (res *NameResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.reg.Counter("serve.panics").Inc()
+			res = &NameResult{
+				Name:    name,
+				Version: version,
+				NumRefs: s.backend.NumRefs(name),
+				Incident: &IncidentBody{
+					Reason: string(core.IncidentPanic),
+					Stage:  "serve.compute",
+					Error:  fmt.Sprintf("panic: %v\n%s", p, debug.Stack()),
+				},
+			}
+			err = nil
+		}
+	}()
+	release, aerr := s.adm.acquire(fctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+	if ferr := fault.Point(fctx, "serve.compute"); ferr != nil {
+		return nil, ferr
+	}
+	s.reg.Counter("serve.computes").Inc()
+	sp := s.reg.StartStage("serve.compute")
+	groups, inc, err := s.backend.Disambiguate(fctx, name, core.BatchOptions{
+		NameTimeout:   s.nameTimeout,
+		DegradedPaths: s.degraded,
+	})
+	sp.End(1)
+	if err != nil {
+		return nil, err
+	}
+	res = &NameResult{
+		Name:    name,
+		Version: version,
+		NumRefs: s.backend.NumRefs(name),
+		Groups:  groups,
+	}
+	if inc != nil {
+		res.Incident = &IncidentBody{Reason: string(inc.Reason), Stage: inc.Stage, Error: inc.Err}
+		res.Degraded = inc.Reason == core.IncidentDegraded || inc.Reason == core.IncidentTimeout
+		if res.Degraded {
+			s.reg.Counter("serve.degraded").Inc()
+		}
+	}
+	// Only clean results are cached, and only when the database did not
+	// move under the computation: a result computed while an Insert landed
+	// may mix old and new contents, and storing it under the pre-compute
+	// version would serve it as that version's truth.
+	if inc == nil && s.backend.Version() == version {
+		if evicted := s.cache.put(name, version, res); evicted > 0 {
+			s.reg.Counter("serve.cache_evictions").Add(evicted)
+		}
+	}
+	return res, nil
+}
+
+// statusFor maps a result to its HTTP status: a panic or error incident is
+// a 500 (the body still carries the incident), anything else — clean,
+// degraded, timed out conservatively — is a 200 the client can use.
+func statusFor(res *NameResult) int {
+	if res.Incident == nil {
+		return http.StatusOK
+	}
+	switch res.Incident.Reason {
+	case string(core.IncidentPanic), string(core.IncidentError):
+		return http.StatusInternalServerError
+	}
+	return http.StatusOK
+}
+
+// errStatus maps a lookup error to (status, message).
+func (s *Server) errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound, "unknown name"
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests, "compute queue full"
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The requester went away (or its deadline fired) mid-flight; 499 in
+		// the nginx convention. The response likely reaches nobody.
+		return 499, "request cancelled"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+func (s *Server) handleName(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, "empty name")
+		return
+	}
+	t0 := time.Now()
+	res, meta, err := s.lookup(r.Context(), name)
+	if err != nil {
+		status, msg := s.errStatus(err)
+		s.writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, statusFor(res), nameEnvelope{
+		NameResult: res,
+		Cached:     meta.cached,
+		Coalesced:  meta.coalesced,
+		ElapsedMS:  float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Names) == 0 {
+		s.writeError(w, http.StatusBadRequest, "names is empty")
+		return
+	}
+	if len(req.Names) > s.maxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d names exceeds the limit of %d", len(req.Names), s.maxBatch))
+		return
+	}
+	s.reg.Counter("serve.batch_requests").Inc()
+	t0 := time.Now()
+	resp := batchResponse{Version: s.backend.Version(), Results: make([]batchItem, 0, len(req.Names))}
+	for _, name := range req.Names {
+		if r.Context().Err() != nil {
+			break
+		}
+		res, meta, err := s.lookup(r.Context(), name)
+		if err != nil {
+			status, msg := s.errStatus(err)
+			resp.Results = append(resp.Results, batchItem{Name: name, Error: msg, Status: status})
+			continue
+		}
+		resp.Results = append(resp.Results, batchItem{
+			NameResult: res, Name: res.Name, Cached: meta.cached, Coalesced: meta.coalesced,
+		})
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNames(w http.ResponseWriter, r *http.Request) {
+	minRefs := 2
+	if v := r.URL.Query().Get("min_refs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "min_refs must be an integer")
+			return
+		}
+		minRefs = n
+	}
+	names := s.backend.Names(minRefs)
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Version int64    `json:"version"`
+		Names   []string `json:"names"`
+	}{Version: s.backend.Version(), Names: names})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", retryAfterValue(s.retryAfter))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// writeError emits the error envelope, with Retry-After on the statuses
+// where backing off helps.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterValue(s.retryAfter))
+	}
+	if status == http.StatusTooManyRequests {
+		s.reg.Counter("serve.rejected_429").Inc()
+	} else if status >= 500 && status != http.StatusServiceUnavailable {
+		s.reg.Counter("serve.errors").Inc()
+	} else if status == http.StatusNotFound {
+		s.reg.Counter("serve.not_found").Inc()
+	}
+	writeJSON(w, status, errorBody{Error: msg, Status: status})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// retryAfterValue renders a Retry-After in whole seconds, at least 1.
+func retryAfterValue(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

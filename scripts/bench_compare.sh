@@ -8,8 +8,8 @@
 # deterministic but GC-visible sizes wobble with Go releases).
 #
 # Usage:  scripts/bench_compare.sh [BASELINE.json] [OUT.json]
-#           BASELINE  default BENCH_4.json (the batched-kernel baseline)
-#           OUT       default BENCH_5.json
+#           BASELINE  default BENCH_5.json (the serving-layer baseline)
+#           OUT       default BENCH_6.json
 #   env:  BENCH_COUNT          runs per benchmark for the median (default 3)
 #         BENCH_THRESHOLD      allowed ns/op regression in percent (default 10)
 #         BENCH_MEM_THRESHOLD  allowed B/op + allocs/op regression in percent
@@ -19,8 +19,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_4.json}"
-out="${2:-BENCH_5.json}"
+baseline="${1:-BENCH_5.json}"
+out="${2:-BENCH_6.json}"
 count="${BENCH_COUNT:-3}"
 threshold="${BENCH_THRESHOLD:-10}"
 mem_threshold="${BENCH_MEM_THRESHOLD:-25}"
@@ -30,7 +30,7 @@ if [[ ! -e "$baseline" ]]; then
   exit 1
 fi
 
-benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering|BenchmarkPropagate|BenchmarkPlanCompile)$'
+benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering|BenchmarkPropagate|BenchmarkPlanCompile|BenchmarkServeThroughput)$'
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

@@ -24,4 +24,6 @@ echo "== go test -race ./..."
 go test -race ./...
 echo "== chaos quick tier (fault injection, -race, seed 1)"
 go test -race -count=1 -run '^TestChaos' .
+echo "== serving concurrency tier (coalescing + chaos, -race, count=2)"
+go test -race -count=2 -run '^TestCoalesce|^TestChaos|^TestDrain' ./internal/serve
 echo "check.sh: all green"
