@@ -6,6 +6,8 @@
 package distinct_test
 
 import (
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -59,8 +61,12 @@ func benchServeEngine(b *testing.B) (*distinct.Engine, []string) {
 func benchServeServer(b *testing.B) (http.Handler, []string) {
 	b.Helper()
 	eng, names := benchServeEngine(b)
+	// Observability at production defaults: the flight recorder rides along
+	// (default-on) and access logs run at the default 1-in-100 sample, so
+	// the throughput number prices in the instrumented request path.
 	srv, err := distinct.NewAPIServer(distinct.APIOptions{
-		Backend: eng.APIBackend("paper-key"),
+		Backend:   eng.APIBackend("paper-key"),
+		AccessLog: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err != nil {
 		b.Fatal(err)

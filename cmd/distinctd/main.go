@@ -26,6 +26,16 @@
 //	          [-max-queue N]      admission queue depth (0 = 4x concurrency)
 //	          [-name-timeout D]   per-request engine budget (degrade past it)
 //	          [-drain-timeout D]  max time to wait for in-flight work at exit
+//	          [-access-log]       structured access logs (sampled clean 200s)
+//	          [-flight N]         flight-recorder ring size (/debug/requests)
+//	          [-tail-slow D]      tail-sampling latency threshold
+//	          [-tail-dir DIR]     per-request trace artifacts for the tail
+//
+// Every response carries an X-Request-ID (client-echoed or minted) and, when
+// the client sent a W3C traceparent, a traceparent reply with this server's
+// span id. /debug/requests shows the flight recorder: the last N requests
+// plus the K slowest and the recent errors, with trace artifact paths when
+// -tail-dir is set. See DESIGN.md §14.
 package main
 
 import (
@@ -64,6 +74,13 @@ func run() error {
 		nameTimeout  = flag.Duration("name-timeout", 2*time.Second, "per-request engine budget; past it the answer degrades")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight requests")
 		renderAttr   = flag.String("render-attr", "paper-key", "reference attribute rendered into response groups")
+		accessLog    = flag.Bool("access-log", false, "emit structured access logs to stderr (sampled on clean 200s)")
+		accessSample = flag.Int("access-log-sample", 0, "log one clean fast 200 in N (0 = default 100, 1 = every request)")
+		flightN      = flag.Int("flight", 0, "flight-recorder ring size at /debug/requests (0 = default 256, negative disables)")
+		tailSlow     = flag.Duration("tail-slow", 0, "latency past which a request is tail-sampled (0 = default 500ms)")
+		tailDir      = flag.String("tail-dir", "", "directory for tail-sampled per-request trace artifacts (empty disables)")
+		sloTarget    = flag.Float64("slo-target", 0, "availability objective for the burn-rate gauge (0 = default 0.99)")
+		batchFanout  = flag.Int("batch-fanout", 0, "concurrent lookups per batch request (0 = default 8, capped at concurrency)")
 	)
 	flag.Parse()
 
@@ -127,13 +144,29 @@ func run() error {
 			"elapsed", time.Since(t0).Round(time.Millisecond))
 	}
 
+	if *tailDir != "" {
+		if err := os.MkdirAll(*tailDir, 0o755); err != nil {
+			return fmt.Errorf("tail-dir: %w", err)
+		}
+	}
+	var accessLogger *slog.Logger
+	if *accessLog {
+		accessLogger = lg
+	}
 	api, err := distinct.NewAPIServer(distinct.APIOptions{
-		Backend:     eng.APIBackend(*renderAttr),
-		Obs:         reg,
-		CacheBytes:  *cacheBytes,
-		Concurrency: *concurrency,
-		MaxQueue:    *maxQueue,
-		NameTimeout: *nameTimeout,
+		Backend:         eng.APIBackend(*renderAttr),
+		Obs:             reg,
+		CacheBytes:      *cacheBytes,
+		Concurrency:     *concurrency,
+		MaxQueue:        *maxQueue,
+		NameTimeout:     *nameTimeout,
+		FlightRecords:   *flightN,
+		TailSlow:        *tailSlow,
+		TailDir:         *tailDir,
+		AccessLog:       accessLogger,
+		AccessLogSample: *accessSample,
+		SLOTarget:       *sloTarget,
+		BatchFanout:     *batchFanout,
 	})
 	if err != nil {
 		return err

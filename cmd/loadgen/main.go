@@ -42,6 +42,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,6 +60,18 @@ type passReport struct {
 	MaxMS      float64          `json:"max_ms"`
 	Statuses   map[string]int   `json:"statuses"`
 	Counters   map[string]int64 `json:"counter_deltas,omitempty"`
+	// Slowest lists the pass's slowest requests with the X-Request-IDs
+	// loadgen sent — cross-reference them against the server's
+	// /debug/requests slow lane.
+	Slowest []slowSample `json:"slowest,omitempty"`
+}
+
+// slowSample identifies one slow request by the id loadgen stamped on it.
+type slowSample struct {
+	ID     string  `json:"id"`
+	Name   string  `json:"name"`
+	MS     float64 `json:"ms"`
+	Status int     `json:"status"`
 }
 
 type report struct {
@@ -222,12 +235,15 @@ type sample struct {
 	latency time.Duration
 	status  int
 	failed  bool
+	id      string
+	name    string
 }
 
 // collector accumulates samples concurrently and folds them into a report.
 type collector struct {
 	client *http.Client
 	base   string
+	seq    atomic.Uint64
 
 	mu      sync.Mutex
 	samples []sample
@@ -240,13 +256,26 @@ func (c *collector) shoot(name string) { c.shootRetry(name, 0) }
 // computed result even when the mix outnumbers the server's compute slots.
 // Only the final attempt's latency is recorded; backoff sleep is not server
 // latency.
+//
+// Every attempt carries an X-Request-ID and a W3C traceparent, so the slow
+// requests this pass reports can be found by id in the server's
+// /debug/requests flight recorder and its access logs.
 func (c *collector) shootRetry(name string, retries int) {
+	seq := c.seq.Add(1)
+	id := fmt.Sprintf("lg-%08d", seq)
 	var s sample
 	for attempt := 0; ; attempt++ {
+		req, rerr := http.NewRequest("GET", c.base+"/v1/name/"+url.PathEscape(name), nil)
+		if rerr != nil {
+			s = sample{failed: true, id: id, name: name}
+			break
+		}
+		req.Header.Set("X-Request-ID", id)
+		req.Header.Set("traceparent", fmt.Sprintf("00-%032x-%016x-01", seq, seq))
 		t0 := time.Now()
-		resp, err := c.client.Get(c.base + "/v1/name/" + url.PathEscape(name))
+		resp, err := c.client.Do(req)
 		lat := time.Since(t0)
-		s = sample{latency: lat, failed: err != nil}
+		s = sample{latency: lat, failed: err != nil, id: id, name: name}
 		if err != nil {
 			break
 		}
@@ -299,7 +328,31 @@ func (c *collector) report(label, mode string, elapsed time.Duration) passReport
 		pr.P99MS = ms(percentile(lats, 0.99))
 		pr.MaxMS = ms(lats[len(lats)-1])
 	}
+	pr.Slowest = slowest(c.samples, 5)
 	return pr
+}
+
+// slowest returns the k slowest non-failed samples as id-bearing records.
+func slowest(samples []sample, k int) []slowSample {
+	ok := make([]sample, 0, len(samples))
+	for _, s := range samples {
+		if !s.failed {
+			ok = append(ok, s)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i].latency > ok[j].latency })
+	if len(ok) > k {
+		ok = ok[:k]
+	}
+	out := make([]slowSample, len(ok))
+	for i, s := range ok {
+		out[i] = slowSample{
+			ID: s.id, Name: s.name,
+			MS:     float64(s.latency) / float64(time.Millisecond),
+			Status: s.status,
+		}
+	}
+	return out
 }
 
 // runSweep requests every name exactly once, fanned over `workers`
@@ -397,5 +450,12 @@ func printPass(pr passReport) {
 			parts[i] = fmt.Sprintf("%s=%d", strings.TrimPrefix(k, "serve."), pr.Counters[k])
 		}
 		fmt.Printf("            server: %s\n", strings.Join(parts, " "))
+	}
+	if len(pr.Slowest) > 0 {
+		parts := make([]string, len(pr.Slowest))
+		for i, s := range pr.Slowest {
+			parts[i] = fmt.Sprintf("%s %s %.1fms/%d", s.ID, s.Name, s.MS, s.Status)
+		}
+		fmt.Printf("            slowest: %s\n", strings.Join(parts, "; "))
 	}
 }

@@ -1,0 +1,251 @@
+// Command promcheck validates Prometheus text exposition (format 0.0.4) on
+// stdin: every sample line parses, every metric has a preceding # TYPE,
+// histogram buckets are cumulative with a terminal +Inf bucket equal to
+// _count, and no metric name appears in two TYPE blocks. CI pipes
+// `curl -H 'Accept: text/plain' /metrics` through it after a load run.
+//
+// Exit status: 0 when the input is well-formed (a summary line is printed),
+// 1 with one line per problem otherwise, 2 on empty input.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+type checker struct {
+	problems []string
+
+	types    map[string]string // metric family -> counter|gauge|histogram|summary|untyped
+	seen     map[string]bool   // families with at least one sample
+	lastType string            // family of the most recent TYPE line
+
+	// Histogram state for the family currently being read.
+	histFamily string
+	buckets    []bucket
+	histCount  float64
+	hasCount   bool
+}
+
+type bucket struct {
+	le    float64
+	leRaw string
+	count float64
+}
+
+func (c *checker) problemf(line int, format string, args ...any) {
+	c.problems = append(c.problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+// family strips the histogram sample suffixes so _bucket/_sum/_count roll up
+// to the TYPE'd family name.
+func family(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := strings.CutSuffix(name, suf); ok {
+			return f
+		}
+	}
+	return name
+}
+
+// flushHist validates the finished histogram family's bucket invariants.
+func (c *checker) flushHist(line int) {
+	if c.histFamily == "" {
+		return
+	}
+	prev := -1.0
+	prevCount := -1.0
+	sawInf := false
+	for _, b := range c.buckets {
+		if prev >= 0 && b.le <= prev {
+			c.problemf(line, "%s: bucket le=%q out of order", c.histFamily, b.leRaw)
+		}
+		if prevCount >= 0 && b.count < prevCount {
+			c.problemf(line, "%s: bucket le=%q count %v below previous bucket %v (not cumulative)",
+				c.histFamily, b.leRaw, b.count, prevCount)
+		}
+		prev, prevCount = b.le, b.count
+		if b.leRaw == "+Inf" {
+			sawInf = true
+			if c.hasCount && b.count != c.histCount {
+				c.problemf(line, "%s: +Inf bucket %v != _count %v", c.histFamily, b.count, c.histCount)
+			}
+		}
+	}
+	if len(c.buckets) > 0 && !sawInf {
+		c.problemf(line, "%s: histogram without a +Inf bucket", c.histFamily)
+	}
+	c.histFamily = ""
+	c.buckets = c.buckets[:0]
+	c.histCount = 0
+	c.hasCount = false
+}
+
+func (c *checker) typeLine(line int, rest string) {
+	parts := strings.Fields(rest)
+	if len(parts) != 2 {
+		c.problemf(line, "malformed TYPE line: %q", rest)
+		return
+	}
+	name, kind := parts[0], parts[1]
+	if !nameRe.MatchString(name) {
+		c.problemf(line, "invalid metric name %q", name)
+	}
+	switch kind {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		c.problemf(line, "unknown metric type %q for %s", kind, name)
+	}
+	if _, dup := c.types[name]; dup {
+		c.problemf(line, "duplicate TYPE for %s", name)
+	}
+	if c.histFamily != "" && name != c.histFamily {
+		c.flushHist(line)
+	}
+	c.types[name] = kind
+	c.lastType = name
+	if kind == "histogram" {
+		c.histFamily = name
+	}
+}
+
+func (c *checker) sampleLine(line int, text string) {
+	m := sampleRe.FindStringSubmatch(text)
+	if m == nil {
+		c.problemf(line, "unparseable sample: %q", text)
+		return
+	}
+	name, labels, value := m[1], m[2], m[3]
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil && value != "NaN" && value != "+Inf" && value != "-Inf" {
+		c.problemf(line, "%s: bad value %q", name, value)
+	}
+	fam := family(name)
+	kind, typed := c.types[fam]
+	if !typed {
+		// A histogram-suffixed name on a non-histogram family is its own
+		// metric (e.g. a counter literally named x_count); re-check bare.
+		if k2, ok := c.types[name]; ok {
+			fam, kind, typed = name, k2, true
+		}
+	}
+	if !typed {
+		c.problemf(line, "%s: sample before any TYPE for %s", name, fam)
+		return
+	}
+	c.seen[fam] = true
+
+	labelMap := map[string]string{}
+	if labels != "" {
+		inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+		for _, pair := range splitLabels(inner) {
+			lm := labelRe.FindStringSubmatch(pair)
+			if lm == nil {
+				c.problemf(line, "%s: malformed label %q", name, pair)
+				continue
+			}
+			labelMap[lm[1]] = lm[2]
+		}
+	}
+
+	if kind == "histogram" && fam == c.histFamily {
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, ok := labelMap["le"]
+			if !ok {
+				c.problemf(line, "%s: bucket without le label", name)
+				return
+			}
+			lv, lerr := strconv.ParseFloat(le, 64)
+			if le == "+Inf" {
+				lv = inf()
+			} else if lerr != nil {
+				c.problemf(line, "%s: bad le %q", name, le)
+				return
+			}
+			c.buckets = append(c.buckets, bucket{le: lv, leRaw: le, count: v})
+		case strings.HasSuffix(name, "_count"):
+			c.histCount = v
+			c.hasCount = true
+		}
+	}
+}
+
+func inf() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func main() {
+	c := &checker{types: map[string]string{}, seen: map[string]bool{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	samples := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		switch {
+		case text == "":
+		case strings.HasPrefix(text, "# TYPE "):
+			c.typeLine(line, strings.TrimPrefix(text, "# TYPE "))
+		case strings.HasPrefix(text, "#"):
+			// HELP and comments pass through.
+		default:
+			samples++
+			c.sampleLine(line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: read:", err)
+		os.Exit(1)
+	}
+	c.flushHist(line)
+	for name := range c.types {
+		if !c.seen[name] {
+			c.problems = append(c.problems, fmt.Sprintf("TYPE %s has no samples", name))
+		}
+	}
+	if samples == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: no samples on stdin")
+		os.Exit(2)
+	}
+	if len(c.problems) > 0 {
+		for _, p := range c.problems {
+			fmt.Fprintln(os.Stderr, "promcheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: OK — %d metric families, %d samples\n", len(c.types), samples)
+}

@@ -1,10 +1,13 @@
 // Command tracereport renders a human-readable run report from the span
 // tree that cmd/distinct or cmd/experiments wrote with -tracetree, and
-// optionally the metrics snapshot written with -metrics.
+// optionally the metrics snapshot written with -metrics. It also reads the
+// tail-sampled per-request traces distinctd writes under -tail-dir (same
+// distinct-trace/1 format), one report per file.
 //
 // Usage:
 //
 //	tracereport -trace tree.json [-metrics metrics.json] [-topk N]
+//	tracereport traces/req-*.json        # per-request tail artifacts
 //
 // The report shows the span tree with durations, the slowest per-name
 // disambiguations, the merge timeline with cut statistics, and the trained
@@ -24,23 +27,36 @@ import (
 
 func main() {
 	var (
-		tracePath   = flag.String("trace", "", "span-tree JSON written by -tracetree (required)")
+		tracePath   = flag.String("trace", "", "span-tree JSON written by -tracetree")
 		metricsPath = flag.String("metrics", "", "metrics snapshot JSON written by -metrics (optional)")
 		topK        = flag.Int("topk", 10, "number of slowest names to list")
 	)
 	flag.Parse()
 
-	if *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "tracereport: -trace is required")
+	paths := flag.Args()
+	if *tracePath != "" {
+		// The flag form stays first so -metrics appends to its report.
+		paths = append([]string{*tracePath}, paths...)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "tracereport: -trace or at least one trace file argument is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := trace.ReadFileJSON(*tracePath)
-	if err != nil {
-		fatal(err)
-	}
-	if err := trace.WriteReport(os.Stdout, f, trace.ReportOptions{TopK: *topK}); err != nil {
-		fatal(err)
+	for i, path := range paths {
+		if len(paths) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("== %s ==\n\n", path)
+		}
+		f, err := trace.ReadFileJSON(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteReport(os.Stdout, f, trace.ReportOptions{TopK: *topK}); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *metricsPath != "" {

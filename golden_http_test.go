@@ -121,6 +121,14 @@ func goldenHTTPRun(t *testing.T) []goldenExchange {
 		}
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
+		// New observability headers are asserted here, separately from the
+		// golden bytes: headers never enter the recorded JSON, so the byte
+		// comparison below stays exactly as strict as before.
+		if strings.HasPrefix(rq.Path, "/v1/") {
+			if id := rec.Header().Get("X-Request-ID"); len(id) != 16 {
+				t.Errorf("%s %s: minted X-Request-ID %q, want 16 hex chars", rq.Method, rq.Path, id)
+			}
+		}
 		rq.Status = rec.Code
 		if strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
 			var v any

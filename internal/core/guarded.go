@@ -102,12 +102,25 @@ func (e *Engine) attemptLadder(ctx context.Context, nsp *trace.Span, name string
 // (nil on the clean path, Elapsed stamped) tells the caller exactly what
 // happened so it can be reported to the requester.
 func (e *Engine) DisambiguateNameGuarded(ctx context.Context, name string, opts BatchOptions) ([][]reldb.TupleID, *Incident, error) {
+	return e.DisambiguateNameGuardedAt(ctx, nil, name, opts)
+}
+
+// DisambiguateNameGuardedAt is DisambiguateNameGuarded with the stage spans
+// parented under sp instead of the engine trace's root — the serving layer
+// passes a per-request trace's name span here, so a tail-sampled request
+// captures the engine's decisions for exactly that request (stages, merges,
+// incidents) without the engine holding any global trace. A nil sp falls
+// back to the engine trace root (nil when tracing is off, like every span).
+func (e *Engine) DisambiguateNameGuardedAt(ctx context.Context, sp *trace.Span, name string, opts BatchOptions) ([][]reldb.TupleID, *Incident, error) {
 	refs := e.RefsForName(name)
 	if len(refs) == 0 {
 		return nil, nil, fmt.Errorf("core: no references named %q", name)
 	}
+	if sp == nil {
+		sp = e.root()
+	}
 	t0 := time.Now()
-	groups, inc, err := e.attemptLadder(ctx, e.root(), name, refs, opts)
+	groups, inc, err := e.attemptLadder(ctx, sp, name, refs, opts)
 	if inc != nil {
 		inc.Elapsed = time.Since(t0)
 	}

@@ -1,0 +1,252 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distinct/internal/obs/trace"
+)
+
+func rec(seqHint int, lat time.Duration, status int) Record {
+	return Record{
+		ID:      "req-" + strings.Repeat("0", 3) + string(rune('a'+seqHint%26)),
+		Route:   "name",
+		Name:    "Wei Wang",
+		Status:  status,
+		Start:   time.Unix(1700000000, 0),
+		Latency: lat,
+	}
+}
+
+func TestRecorderLanes(t *testing.T) {
+	rc := New(Options{Records: 4, SlowLane: 2, ErrorLane: 2, SlowThreshold: 100 * time.Millisecond})
+	// 6 records into a 4-ring: the first two fall out of Recent.
+	lats := []time.Duration{5, 300, 10, 20, 250, 400} // ms
+	statuses := []int{200, 200, 500, 200, 200, 500}
+	for i := range lats {
+		r := rec(i, lats[i]*time.Millisecond, statuses[i])
+		rc.Observe(r, nil)
+	}
+	snap := rc.Snapshot()
+	if snap.Total != 6 {
+		t.Fatalf("total = %d", snap.Total)
+	}
+	if len(snap.Recent) != 4 {
+		t.Fatalf("recent = %d records", len(snap.Recent))
+	}
+	// Newest first: seq 6,5,4,3.
+	for i, want := range []uint64{6, 5, 4, 3} {
+		if snap.Recent[i].Seq != want {
+			t.Errorf("recent[%d].Seq = %d, want %d", i, snap.Recent[i].Seq, want)
+		}
+	}
+	// Slow lane pins the 2 slowest ever (400ms seq 6, 300ms seq 2) even
+	// though seq 2 left the ring.
+	if len(snap.Slowest) != 2 || snap.Slowest[0].Seq != 6 || snap.Slowest[1].Seq != 2 {
+		t.Errorf("slowest = %+v", seqs(snap.Slowest))
+	}
+	// Error lane keeps the errored records, newest first.
+	if len(snap.Errors) != 2 || snap.Errors[0].Seq != 6 || snap.Errors[1].Seq != 3 {
+		t.Errorf("errors = %+v", seqs(snap.Errors))
+	}
+}
+
+func seqs(rs []Record) []uint64 {
+	out := make([]uint64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Seq
+	}
+	return out
+}
+
+func TestErroredIncludesIncidents(t *testing.T) {
+	rc := New(Options{})
+	r := rec(0, time.Millisecond, 200)
+	r.Incident = "timeout"
+	rc.Observe(r, nil)
+	snap := rc.Snapshot()
+	if len(snap.Errors) != 1 {
+		t.Fatalf("incident-bearing 200 not in the error lane: %+v", snap.Errors)
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var rc *Recorder
+	rc.Observe(rec(0, time.Second, 500), nil) // must not panic
+	snap := rc.Snapshot()
+	if snap.Total != 0 || snap.Recent != nil {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	if rc.SlowThreshold() != 0 || rc.TailDir() != "" {
+		t.Error("nil recorder leaked configuration")
+	}
+	w := httptest.NewRecorder()
+	rc.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/requests", nil))
+	if w.Code != 200 {
+		t.Errorf("nil handler status %d", w.Code)
+	}
+}
+
+func TestTraceArtifactWrittenForTailSampledOnly(t *testing.T) {
+	dir := t.TempDir()
+	rc := New(Options{SlowThreshold: 100 * time.Millisecond, TailDir: dir})
+
+	mkTrace := func() *trace.Trace {
+		tr := trace.New(trace.Options{RootName: "request"})
+		sp := tr.Start(trace.NameSpanPrefix + "Wei Wang")
+		sp.End()
+		tr.Finish()
+		return tr
+	}
+
+	fast := rec(0, time.Millisecond, 200)
+	fast.ID = "fast"
+	rc.Observe(fast, mkTrace())
+	slow := rec(1, time.Second, 200)
+	slow.ID = "slow"
+	rc.Observe(slow, mkTrace())
+	errored := rec(2, time.Millisecond, 500)
+	errored.ID = "errored"
+	rc.Observe(errored, mkTrace())
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	if len(entries) != 2 {
+		t.Fatalf("artifacts = %v, want slow+errored only", names)
+	}
+	snap := rc.Snapshot()
+	if snap.TraceWrites != 2 || snap.TraceErrors != 0 {
+		t.Errorf("trace writes=%d errors=%d", snap.TraceWrites, snap.TraceErrors)
+	}
+	// The artifact is a valid distinct-trace file, and the record points
+	// at it.
+	if _, err := trace.ReadFileJSON(filepath.Join(dir, "req-slow.json")); err != nil {
+		t.Errorf("slow artifact unreadable: %v", err)
+	}
+	for _, r := range snap.Slowest {
+		if r.ID == "slow" && r.TraceFile == "" {
+			t.Error("slow record has no TraceFile")
+		}
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc-123_X.y": "abc-123_X.y",
+		"a/b\\c d":    "a-b-c-d",
+		"":            "anon",
+		"über":        "--ber", // ü is two bytes, both replaced
+	} {
+		if got := SanitizeID(in); got != want {
+			t.Errorf("SanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := strings.Repeat("x", 100)
+	if got := SanitizeID(long); len(got) != 64 {
+		t.Errorf("long id not capped: %d bytes", len(got))
+	}
+}
+
+// TestRecorderConcurrent hammers Observe and Snapshot from many goroutines;
+// run under -race (scripts/check.sh does) this is the recorder's
+// thread-safety proof.
+func TestRecorderConcurrent(t *testing.T) {
+	rc := New(Options{Records: 32, SlowLane: 4, ErrorLane: 4, SlowThreshold: 50 * time.Millisecond})
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	wg.Add(writers + 2)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				status := 200
+				if i%17 == 0 {
+					status = 500
+				}
+				rc.Observe(rec(w, time.Duration(i%97)*time.Millisecond, status), nil)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				snap := rc.Snapshot()
+				if len(snap.Recent) > 32 || len(snap.Slowest) > 4 || len(snap.Errors) > 4 {
+					t.Error("lane overflow")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := rc.Snapshot()
+	if snap.Total != writers*perWriter {
+		t.Fatalf("total = %d, want %d", snap.Total, writers*perWriter)
+	}
+	// Sequence numbers in Recent must be unique and descending.
+	for i := 1; i < len(snap.Recent); i++ {
+		if snap.Recent[i].Seq >= snap.Recent[i-1].Seq {
+			t.Fatalf("recent not newest-first at %d: %v", i, seqs(snap.Recent))
+		}
+	}
+	// Slowest is ordered slowest-first.
+	for i := 1; i < len(snap.Slowest); i++ {
+		if snap.Slowest[i].Latency > snap.Slowest[i-1].Latency {
+			t.Fatalf("slow lane out of order: %v", snap.Slowest)
+		}
+	}
+}
+
+func TestHandlerJSONAndHTML(t *testing.T) {
+	rc := New(Options{})
+	r := rec(0, 42*time.Millisecond, 200)
+	r.Cached = true
+	rc.Observe(r, nil)
+
+	w := httptest.NewRecorder()
+	rc.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/requests", nil))
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("default content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON body: %v", err)
+	}
+	if snap.Total != 1 || len(snap.Recent) != 1 || !snap.Recent[0].Cached {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	w2 := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/debug/requests", nil)
+	req.Header.Set("Accept", "text/html")
+	rc.Handler().ServeHTTP(w2, req)
+	body := w2.Body.String()
+	if ct := w2.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("HTML content type %q", ct)
+	}
+	if !strings.Contains(body, "flight recorder") || !strings.Contains(body, "Wei Wang") {
+		t.Errorf("HTML table missing content:\n%s", body)
+	}
+	// ?format=json wins over the Accept header.
+	w3 := httptest.NewRecorder()
+	req3 := httptest.NewRequest("GET", "/debug/requests?format=json", nil)
+	req3.Header.Set("Accept", "text/html")
+	rc.Handler().ServeHTTP(w3, req3)
+	if ct := w3.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("format=json overridden by Accept: %q", ct)
+	}
+}

@@ -1,0 +1,95 @@
+package flight
+
+import (
+	"encoding/json"
+	"html/template"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler serves the recorder at /debug/requests: JSON by default (the
+// snapshot verbatim, machine-scrapable), or an x/net/trace-style HTML table
+// when the client asks for text/html (a browser) or ?format=html. Works on
+// a nil recorder — empty snapshot, empty table — so mounting it is never
+// conditional.
+func (rc *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := rc.Snapshot()
+		if wantsHTML(r) {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			if err := requestsTmpl.Execute(w, snap); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+func wantsHTML(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "html":
+		return true
+	case "json":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/html")
+}
+
+// Template helpers: latency in human units, start time to the millisecond,
+// flags as a compact string.
+var tmplFuncs = template.FuncMap{
+	"lat": func(d time.Duration) string { return d.Round(10 * time.Microsecond).String() },
+	"ts":  func(t time.Time) string { return t.Format("15:04:05.000") },
+	"flags": func(r Record) string {
+		var f []string
+		if r.Cached {
+			f = append(f, "cached")
+		}
+		if r.Coalesced {
+			f = append(f, "coalesced")
+		}
+		if r.Degraded {
+			f = append(f, "degraded")
+		}
+		if r.NegCached {
+			f = append(f, "neg-cached")
+		}
+		if r.Incident != "" {
+			f = append(f, "incident:"+r.Incident)
+		}
+		return strings.Join(f, " ")
+	},
+	"thresh": func(ns int64) string { return time.Duration(ns).String() },
+}
+
+var requestsTmpl = template.Must(template.New("requests").Funcs(tmplFuncs).Parse(`<!DOCTYPE html>
+<html><head><title>/debug/requests</title><style>
+body { font-family: monospace; margin: 1em; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+th, td { border: 1px solid #ccc; padding: 2px 8px; text-align: left; }
+th { background: #eee; }
+tr.err td { background: #fee; }
+tr.slow td { background: #ffd; }
+h2 { margin-bottom: 0.2em; }
+</style></head><body>
+<h1>/debug/requests — flight recorder</h1>
+<p>{{.Total}} requests observed · slow threshold {{thresh .SlowThresholdNs}} · {{.TraceWrites}} trace artifacts ({{.TraceErrors}} failed)</p>
+{{define "table"}}<table>
+<tr><th>seq</th><th>start</th><th>route</th><th>name</th><th>status</th><th>latency</th><th>id</th><th>trace</th><th>flags</th><th>error</th><th>artifact</th></tr>
+{{range .}}<tr{{if .Incident}} class="err"{{else if ge .Status 500}} class="err"{{end}}>
+<td>{{.Seq}}</td><td>{{ts .Start}}</td><td>{{.Route}}</td><td>{{.Name}}</td><td>{{.Status}}</td><td>{{lat .Latency}}</td><td>{{.ID}}</td><td>{{.TraceID}}</td><td>{{flags .}}</td><td>{{.Error}}</td><td>{{.TraceFile}}</td>
+</tr>{{end}}
+</table>{{end}}
+<h2>Slowest ({{len .Slowest}})</h2>
+{{template "table" .Slowest}}
+<h2>Errors ({{len .Errors}})</h2>
+{{template "table" .Errors}}
+<h2>Recent ({{len .Recent}})</h2>
+{{template "table" .Recent}}
+</body></html>
+`))

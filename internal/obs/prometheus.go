@@ -1,0 +1,115 @@
+// Prometheus text exposition (version 0.0.4) for a registry snapshot. The
+// snapshot's dotted metric names ("serve.route.name.requests") are sanitized
+// to the Prometheus grammar and prefixed "distinct_"; counters carry the
+// conventional "_total" suffix, histograms render cumulatively with
+// "_bucket"/"_sum"/"_count" series and a terminal +Inf bucket, and stage
+// aggregates export as a family of counters (runs, wall seconds, items,
+// allocs, bytes). Output is fully deterministic — names sort within each
+// section — so a fixed snapshot renders byte-identical text (golden-tested
+// in prometheus_test.go).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// promPrefix namespaces every exported series.
+const promPrefix = "distinct_"
+
+// promName sanitizes a dotted registry name to the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]* (the prefix supplies the legal first
+// character, so only the character class matters here).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 sample value. Prometheus text uses Go float
+// syntax with "+Inf"/"-Inf"/"NaN" specials.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Sections and series names are emitted in sorted order, so equal
+// snapshots produce byte-identical output.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name) + "_total"
+		pr("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		pr("# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		pr("# TYPE %s histogram\n", pn)
+		// The registry stores per-bucket counts; Prometheus buckets are
+		// cumulative ("observations at or below le").
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			pr("%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+		}
+		pr("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		pr("%s_sum %s\n", pn, promFloat(h.Sum))
+		pr("%s_count %d\n", pn, h.Count)
+	}
+	for _, name := range s.StageNames() {
+		st := s.Stages[name]
+		pn := promName("stage." + name)
+		for _, series := range []struct {
+			suffix string
+			value  string
+		}{
+			{"_runs_total", strconv.FormatInt(st.Count, 10)},
+			{"_wall_seconds_total", promFloat(float64(st.WallNs) / 1e9)},
+			{"_items_total", strconv.FormatInt(st.Items, 10)},
+			{"_allocs_total", strconv.FormatInt(st.Allocs, 10)},
+			{"_alloc_bytes_total", strconv.FormatInt(st.Bytes, 10)},
+		} {
+			pr("# TYPE %s%s counter\n%s%s %s\n", pn, series.suffix, pn, series.suffix, series.value)
+		}
+	}
+	return err
+}
+
+// WritePrometheus renders the registry's current state in the Prometheus
+// text format. A nil registry writes nothing (the empty exposition is
+// valid), so handlers need no enablement check.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updatePromGolden = flag.Bool("update", false, "rewrite testdata/prometheus.golden from the current exposition")
+
+// fixedSnapshot is a hand-built registry snapshot covering every section the
+// exposition renders: counters, gauges (including non-finite values),
+// histograms (bucket accumulation), and stage aggregates. Being a literal,
+// it renders the same bytes on every run.
+func fixedSnapshot() Snapshot {
+	return Snapshot{
+		Counters: map[string]int64{
+			"serve.requests":                1234,
+			"serve.route.name.requests":     1200,
+			"serve.cache_hits":              900,
+			"core.pairs":                    56789,
+			"weird-name!chars serve/ratio%": 7,
+			"serve.negcache_hits":           3,
+		},
+		Gauges: map[string]float64{
+			"serve.queue_depth":   2,
+			"serve.slo_burn_rate": 0.125,
+			"test.nan":            math.NaN(),
+			"test.inf":            math.Inf(1),
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"serve.request_seconds": {
+				Bounds: []float64{0.001, 0.01, 0.1, 1},
+				Counts: []int64{10, 20, 5, 1, 2}, // last = overflow
+				Count:  38,
+				Sum:    3.75,
+			},
+		},
+		Stages: map[string]StageSnapshot{
+			"serve.compute": {Count: 40, WallNs: 1250000000, Items: 40, Allocs: 1000, Bytes: 524288},
+		},
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *updatePromGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition diverges from %s\n got:\n%s\nwant:\n%s\n(run with -update if the change is intentional)",
+			path, buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusBucketsCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Per-bucket counts 10,20,5,1 must render cumulatively, with the +Inf
+	// bucket equal to the total count (38) — the overflow observations are
+	// only in +Inf.
+	for _, line := range []string{
+		`distinct_serve_request_seconds_bucket{le="0.001"} 10`,
+		`distinct_serve_request_seconds_bucket{le="0.01"} 30`,
+		`distinct_serve_request_seconds_bucket{le="0.1"} 35`,
+		`distinct_serve_request_seconds_bucket{le="1"} 36`,
+		`distinct_serve_request_seconds_bucket{le="+Inf"} 38`,
+		`distinct_serve_request_seconds_count 38`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.cache_hits":              "distinct_serve_cache_hits",
+		"weird-name!chars serve/ratio%": "distinct_weird_name_chars_serve_ratio_",
+		"a:b":                           "distinct_a:b",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}

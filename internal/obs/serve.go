@@ -8,12 +8,16 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
 // Handler returns the observability HTTP handler:
 //
-//	/metrics           the registry snapshot as JSON
+//	/metrics           the registry snapshot — JSON by default, Prometheus
+//	                   text exposition under content negotiation (an Accept
+//	                   header naming text/plain or openmetrics, as scrapers
+//	                   send, or an explicit ?format=prometheus)
 //	/debug/vars        expvar-compatible dump: every expvar-published var
 //	                   (cmdline, memstats, ...) plus this registry under
 //	                   the "distinct" key
@@ -24,7 +28,14 @@ import (
 // a server can be started before deciding whether to record anything.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if WantsPrometheus(req) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			if err := r.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if err := r.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -56,6 +67,27 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// PrometheusContentType is the Content-Type of the text exposition format
+// the /metrics handler serves under content negotiation.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WantsPrometheus reports whether a /metrics request asked for the
+// Prometheus text exposition rather than the JSON snapshot: an explicit
+// ?format=prometheus (or format=json to force JSON), else an Accept header
+// naming text/plain or an openmetrics media type — exactly what Prometheus
+// scrapers send. Requests with no preference (curl's */*, the JSON-scraping
+// load generator) keep getting JSON, so existing consumers are unaffected.
+func WantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // Server is a running observability HTTP server.

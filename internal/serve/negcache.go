@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Negative-result cache for the 404 path: a count-bounded LRU of names known
+// to have no references at a given database version. A miss for an unknown
+// name still walks the backend's name index; fleets of probing clients (and
+// typo storms) repeat the same unknown names, so remembering "not found at
+// version V" turns those repeats into a map hit. Version-keyed like the
+// result cache: an Insert bumps the version and every negative entry goes
+// stale at once — a name absent at version V may well exist at V+1.
+
+// DefaultNegCacheEntries is the negative-cache capacity Options.
+// NegCacheEntries = 0 selects. Entries are a map slot plus the name bytes,
+// so even the default costs well under a megabyte.
+const DefaultNegCacheEntries = 4096
+
+type negEntry struct {
+	name    string
+	version int64
+	elem    *list.Element
+}
+
+// negCache is a count-bounded LRU of (name, version) not-found facts. Safe
+// for concurrent use; nil disables (every method no-ops).
+type negCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *negEntry
+	m   map[string]*negEntry
+}
+
+func newNegCache(capacity int) *negCache {
+	return &negCache{cap: capacity, ll: list.New(), m: make(map[string]*negEntry)}
+}
+
+// get reports whether name is known-absent at version. A stale entry (older
+// version) is purged on the way through, mirroring resultCache.get.
+func (c *negCache) get(name string, version int64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[name]
+	if !ok {
+		return false
+	}
+	if e.version != version {
+		c.remove(e)
+		return false
+	}
+	c.ll.MoveToFront(e.elem)
+	return true
+}
+
+// put records that name had no references at version, evicting the
+// least-recently-used entry past capacity. Returns how many entries were
+// evicted for the serve.negcache_evictions counter.
+func (c *negCache) put(name string, version int64) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.m[name]; ok {
+		if prev.version >= version {
+			return 0
+		}
+		c.remove(prev)
+	}
+	e := &negEntry{name: name, version: version}
+	e.elem = c.ll.PushFront(e)
+	c.m[name] = e
+	var evicted int64
+	for c.ll.Len() > c.cap && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		c.remove(back.Value.(*negEntry))
+		evicted++
+	}
+	return evicted
+}
+
+// remove unlinks e; callers hold mu.
+func (c *negCache) remove(e *negEntry) {
+	c.ll.Remove(e.elem)
+	delete(c.m, e.name)
+}
+
+// Len reports how many names are cached (for tests).
+func (c *negCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -5,16 +5,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distinct/internal/core"
 	"distinct/internal/fault"
 	"distinct/internal/obs"
+	flightrec "distinct/internal/obs/flight"
+	"distinct/internal/obs/trace"
 )
 
 // Defaults for the knobs Options leaves zero.
@@ -25,6 +29,13 @@ const (
 	DefaultMaxBodyBytes = 1 << 20
 	// DefaultRetryAfter is the Retry-After hint on 429/503 responses.
 	DefaultRetryAfter = time.Second
+	// DefaultBatchFanout bounds concurrent per-name lookups inside one batch
+	// request. Admission control still bounds total engine concurrency, so
+	// fan-out changes batch latency, not engine load limits.
+	DefaultBatchFanout = 8
+	// DefaultAccessLogSample logs one clean fast 200 in this many; errors,
+	// incidents, and slow requests always log.
+	DefaultAccessLogSample = 100
 )
 
 // Options configures a Server. Backend is required; everything else has a
@@ -58,6 +69,35 @@ type Options struct {
 	MaxBodyBytes int64
 	// RetryAfter is the backoff hint on 429/503 (0 = DefaultRetryAfter).
 	RetryAfter time.Duration
+
+	// FlightRecords sizes the flight recorder's ring of last completed
+	// requests, served at /debug/requests (0 = flightrec.DefaultRecords,
+	// negative disables the recorder).
+	FlightRecords int
+	// TailSlow is the latency past which a request is tail-sampled: pinned
+	// in the recorder's slow lane, always access-logged, trace-artifacted
+	// when TailDir is set (0 = flightrec.DefaultSlowThreshold).
+	TailSlow time.Duration
+	// TailDir, when non-empty, receives per-request engine trace artifacts
+	// (distinct-trace/1 JSON) for tail-sampled requests — the K slowest and
+	// the errored. Requires the flight recorder.
+	TailDir string
+	// AccessLog, when non-nil, receives structured access log records:
+	// every error, incident, and slow request, plus one in AccessLogSample
+	// of the clean fast 200s. Nil disables access logging entirely.
+	AccessLog *slog.Logger
+	// AccessLogSample is the clean-200 sampling period (0 =
+	// DefaultAccessLogSample, 1 = log everything).
+	AccessLogSample int
+	// SLOTarget is the availability objective the burn-rate gauge and
+	// /healthz?verbose=1 report against (0 = DefaultSLOTarget).
+	SLOTarget float64
+	// BatchFanout bounds concurrent lookups inside one batch request
+	// (0 = DefaultBatchFanout, 1 = sequential).
+	BatchFanout int
+	// NegCacheEntries caps the negative-result cache for the 404 path
+	// (0 = DefaultNegCacheEntries, negative disables).
+	NegCacheEntries int
 }
 
 // IncidentBody is the JSON rendering of a per-name incident. Elapsed is
@@ -83,6 +123,12 @@ type NameResult struct {
 	// fidelity; Incident says which.
 	Degraded bool          `json:"degraded,omitempty"`
 	Incident *IncidentBody `json:"incident,omitempty"`
+
+	// trace is the per-request engine trace captured under tail sampling;
+	// unexported so it never reaches the JSON body, and stripped from the
+	// copy the cache stores (a cached result serves many requests — none of
+	// them this one's trace).
+	trace *trace.Trace
 }
 
 // nameEnvelope is one request's view of a NameResult: the shared result
@@ -130,8 +176,10 @@ var errNotFound = errors.New("serve: unknown name")
 // obs.ServeHandler (or any http.Server), Drain before exit.
 type Server struct {
 	backend     Backend
+	traced      TracedBackend // backend's tracing extension, nil if unsupported
 	reg         *obs.Registry
 	cache       *resultCache
+	neg         *negCache
 	flights     *flightGroup
 	adm         *admission
 	handler     http.Handler
@@ -140,6 +188,41 @@ type Server struct {
 	maxBatch    int
 	maxBody     int64
 	retryAfter  time.Duration
+	batchFanout int
+
+	// Request observability (DESIGN.md §14). instrumented gates the full
+	// middleware path; with everything off, api() adds nothing to a request.
+	instrumented bool
+	flightRec    *flightrec.Recorder
+	tailTrace    bool // build per-request engine traces in compute
+	access       *accessLogger
+	slo          *sloTracker
+	ids          *idSource
+	rtName       *route
+	rtBatch      *route
+	rtNames      *route
+
+	// Pre-resolved obs handles: registry lookups take the registry mutex,
+	// so the request path resolves each handle once here and updates
+	// atomics from then on. All nil (and free) on a nil registry.
+	cRequests    *obs.Counter
+	hSeconds     *obs.Histogram
+	cCacheHits   *obs.Counter
+	cCacheMisses *obs.Counter
+	cCacheEvict  *obs.Counter
+	cNegHits     *obs.Counter
+	cNegMisses   *obs.Counter
+	cNegEvict    *obs.Counter
+	cCoalesced   *obs.Counter
+	cComputes    *obs.Counter
+	cDegraded    *obs.Counter
+	cPanics      *obs.Counter
+	cBatch       *obs.Counter
+	cBatchDedup  *obs.Counter
+	cRejected429 *obs.Counter
+	cRejected503 *obs.Counter
+	cErrors      *obs.Counter
+	cNotFound    *obs.Counter
 
 	baseCancel context.CancelFunc
 
@@ -169,7 +252,9 @@ func New(opts Options) (*Server, error) {
 		maxBatch:    opts.MaxBatchNames,
 		maxBody:     opts.MaxBodyBytes,
 		retryAfter:  opts.RetryAfter,
+		batchFanout: opts.BatchFanout,
 	}
+	s.traced, _ = opts.Backend.(TracedBackend)
 	if s.nameTimeout <= 0 {
 		s.nameTimeout = defaultNameTimeout
 	}
@@ -182,6 +267,15 @@ func New(opts Options) (*Server, error) {
 	if s.retryAfter <= 0 {
 		s.retryAfter = DefaultRetryAfter
 	}
+	if s.batchFanout <= 0 {
+		s.batchFanout = DefaultBatchFanout
+	}
+	// Fan-out beyond the admission width can only queue (and, past the
+	// queue, shed) a batch's own lookups; cap it so one batch on an idle
+	// server is always fully admitted.
+	if s.batchFanout > conc {
+		s.batchFanout = conc
+	}
 	switch {
 	case opts.CacheBytes < 0:
 		// caching disabled
@@ -190,6 +284,68 @@ func New(opts Options) (*Server, error) {
 	default:
 		s.cache = newResultCache(opts.CacheBytes)
 	}
+	switch {
+	case opts.NegCacheEntries < 0:
+		// negative cache disabled
+	case opts.NegCacheEntries == 0:
+		s.neg = newNegCache(DefaultNegCacheEntries)
+	default:
+		s.neg = newNegCache(opts.NegCacheEntries)
+	}
+
+	// Request observability: flight recorder (default on — it is the
+	// always-on black box), access logger, SLO tracker, request ids. The
+	// slow threshold is shared by the recorder's slow lane and the access
+	// logger's always-log rule.
+	tailSlow := opts.TailSlow
+	if tailSlow <= 0 {
+		tailSlow = flightrec.DefaultSlowThreshold
+	}
+	if opts.FlightRecords >= 0 {
+		s.flightRec = flightrec.New(flightrec.Options{
+			Records:       opts.FlightRecords,
+			SlowThreshold: tailSlow,
+			TailDir:       opts.TailDir,
+		})
+	}
+	s.tailTrace = s.flightRec.TailDir() != ""
+	if opts.AccessLog != nil {
+		sample := opts.AccessLogSample
+		if sample == 0 {
+			sample = DefaultAccessLogSample
+		}
+		if sample < 1 {
+			sample = 1
+		}
+		s.access = &accessLogger{lg: opts.AccessLog, sample: uint64(sample), slow: tailSlow}
+	}
+	s.slo = newSLOTracker(opts.Obs, opts.SLOTarget)
+	s.ids = newIDSource()
+	s.rtName = newRoute(opts.Obs, "name")
+	s.rtBatch = newRoute(opts.Obs, "batch")
+	s.rtNames = newRoute(opts.Obs, "names")
+	s.instrumented = s.flightRec != nil || s.access != nil || s.reg != nil
+
+	reg := opts.Obs
+	s.cRequests = reg.Counter("serve.requests")
+	s.hSeconds = reg.Histogram("serve.request_seconds", nil)
+	s.cCacheHits = reg.Counter("serve.cache_hits")
+	s.cCacheMisses = reg.Counter("serve.cache_misses")
+	s.cCacheEvict = reg.Counter("serve.cache_evictions")
+	s.cNegHits = reg.Counter("serve.negcache_hits")
+	s.cNegMisses = reg.Counter("serve.negcache_misses")
+	s.cNegEvict = reg.Counter("serve.negcache_evictions")
+	s.cCoalesced = reg.Counter("serve.coalesced")
+	s.cComputes = reg.Counter("serve.computes")
+	s.cDegraded = reg.Counter("serve.degraded")
+	s.cPanics = reg.Counter("serve.panics")
+	s.cBatch = reg.Counter("serve.batch_requests")
+	s.cBatchDedup = reg.Counter("serve.batch_dedup")
+	s.cRejected429 = reg.Counter("serve.rejected_429")
+	s.cRejected503 = reg.Counter("serve.rejected_503")
+	s.cErrors = reg.Counter("serve.errors")
+	s.cNotFound = reg.Counter("serve.not_found")
+
 	// Flights compute under the server's base context — not any request's —
 	// so a cancelled leader hands off to its waiters. The fault registry
 	// travels in it so injection reaches the compute path.
@@ -202,14 +358,17 @@ func New(opts Options) (*Server, error) {
 	s.adm = newAdmission(conc, maxQueue, s.reg.Gauge("serve.queue_depth"))
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/name/{name}", s.api(s.handleName))
-	mux.HandleFunc("POST /v1/batch", s.api(s.handleBatch))
-	mux.HandleFunc("GET /v1/names", s.api(s.handleNames))
+	mux.HandleFunc("GET /v1/name/{name}", s.api(s.rtName, s.handleName))
+	mux.HandleFunc("POST /v1/batch", s.api(s.rtBatch, s.handleBatch))
+	mux.HandleFunc("GET /v1/names", s.api(s.rtNames, s.handleNames))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	// The observability endpoints ride on the same mux (and the same
 	// hardened server), outside the drain gate so a draining process can
-	// still be scraped.
+	// still be scraped. /debug/requests (the flight recorder) wins over the
+	// /debug/ catch-all by pattern specificity; its handler serves empty
+	// lanes on a nil recorder, so the mount is unconditional.
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("GET /debug/requests", s.flightRec.Handler())
 	mux.Handle("/debug/", s.reg.Handler())
 	s.handler = mux
 	return s, nil
@@ -218,6 +377,9 @@ func New(opts Options) (*Server, error) {
 // Handler returns the server's HTTP handler: the /v1 API plus the
 // observability endpoints (/metrics, /debug/...).
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// FlightRecorder returns the server's flight recorder (nil when disabled).
+func (s *Server) FlightRecorder() *flightrec.Recorder { return s.flightRec }
 
 // Drain stops admitting /v1 requests (they get 503 + Retry-After) and waits
 // for the in-flight ones to finish, or until ctx expires. Safe to call more
@@ -256,20 +418,98 @@ func (s *Server) enter() bool {
 	return true
 }
 
-// api wraps a /v1 handler with the drain gate, request counting, and
-// latency observation.
-func (s *Server) api(h http.HandlerFunc) http.HandlerFunc {
+// api wraps a /v1 handler with the drain gate and the request-observability
+// middleware: request id + traceparent propagation, per-route RED metrics,
+// SLO observation, flight record, sampled access log (middleware.go). With
+// no registry, recorder, or logger configured, the fast path runs the
+// handler bare — nil reqInfo, no response wrapper, zero added allocations.
+func (s *Server) api(rt *route, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.enter() {
-			s.reg.Counter("serve.rejected_503").Inc()
+			s.cRejected503.Inc()
 			s.writeError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
 		defer s.inflight.Done()
-		s.reg.Counter("serve.requests").Inc()
+		if !s.instrumented {
+			h(w, r, nil)
+			return
+		}
+
 		t0 := time.Now()
-		h(w, r)
-		s.reg.Histogram("serve.request_seconds", nil).ObserveDuration(time.Since(t0))
+		// Echo a valid client X-Request-ID, mint one otherwise. The id
+		// doubles as this server's traceparent span id (16 hex chars) when
+		// generated; an echoed client id is still minted a span id.
+		// Headers are read and written with pre-canonicalized keys
+		// (hdrRequestID, hdrTraceparent) — net/http canonicalizes incoming
+		// keys at parse time, and skipping Get/Set's per-call
+		// CanonicalMIMEHeaderKey pass keeps this middleware out of the
+		// request latency budget.
+		var id string
+		if vs := r.Header[hdrRequestID]; len(vs) > 0 {
+			id = vs[0]
+		}
+		spanID := ""
+		if !validRequestID(id) {
+			id = s.ids.next()
+			spanID = id
+		}
+		wh := w.Header()
+		wh[hdrRequestID] = []string{id}
+		var traceID string
+		if vs := r.Header[hdrTraceparent]; len(vs) > 0 {
+			if tid, flags, ok := parseTraceparent(vs[0]); ok {
+				traceID = tid
+				if spanID == "" {
+					spanID = s.ids.next()
+				}
+				wh[hdrTraceparent] = []string{"00-" + tid + "-" + spanID + "-" + flags}
+			}
+		}
+
+		s.cRequests.Inc()
+		rt.requests.Inc()
+		ri := reqInfoPool.Get().(*reqInfo)
+		ri.reset()
+		sw := &ri.sw
+		sw.ResponseWriter = w
+
+		h(sw, r, ri)
+
+		lat := time.Since(t0)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.hSeconds.ObserveDuration(lat)
+		rt.seconds.ObserveDuration(lat)
+		if status >= 500 {
+			rt.errors.Inc()
+		}
+		s.slo.observe(status, t0)
+
+		rec := flightrec.Record{
+			ID:        id,
+			TraceID:   traceID,
+			Route:     rt.name,
+			Name:      ri.name,
+			Status:    status,
+			Start:     t0,
+			Latency:   lat,
+			Cached:    ri.cached,
+			Coalesced: ri.coalesced,
+			Degraded:  ri.degraded,
+			NegCached: ri.negCached,
+			Incident:  ri.incident,
+			Error:     ri.errMsg,
+		}
+		tr := ri.tr
+		ri.reset() // drop the trace reference before pooling
+		reqInfoPool.Put(ri)
+		s.flightRec.Observe(rec, tr)
+		if s.access.shouldLog(status, rec.Incident, lat) {
+			s.access.log(&rec)
+		}
 	}
 }
 
@@ -277,30 +517,41 @@ func (s *Server) api(h http.HandlerFunc) http.HandlerFunc {
 type lookupMeta struct {
 	cached    bool
 	coalesced bool
+	negCached bool
 }
 
-// lookup resolves one name: version read, cache probe, coalesced compute.
-// The version is read BEFORE the cache probe — with the reverse order a
-// concurrent Insert could slip between them and the probe would hand back
-// a result computed against the old contents labeled with the new version.
-// reldb.Insert upholds the matching edge on its side (invalidate before
-// bump; see version_order_test.go).
+// lookup resolves one name: version read, negative-cache probe, cache probe,
+// coalesced compute. The version is read BEFORE either cache probe — with
+// the reverse order a concurrent Insert could slip between them and the
+// probe would hand back a result computed against the old contents labeled
+// with the new version. reldb.Insert upholds the matching edge on its side
+// (invalidate before bump; see version_order_test.go).
 func (s *Server) lookup(ctx context.Context, name string) (*NameResult, lookupMeta, error) {
+	version := s.backend.Version()
+	if s.neg.get(name, version) {
+		s.cNegHits.Inc()
+		return nil, lookupMeta{negCached: true}, errNotFound
+	}
 	if s.backend.NumRefs(name) == 0 {
+		// A negcache miss is counted only on this slow 404 path, so
+		// hits/(hits+misses) reads as the fraction of 404s served cheaply.
+		s.cNegMisses.Inc()
+		if evicted := s.neg.put(name, version); evicted > 0 {
+			s.cNegEvict.Add(evicted)
+		}
 		return nil, lookupMeta{}, errNotFound
 	}
-	version := s.backend.Version()
 	if res := s.cache.get(name, version); res != nil {
-		s.reg.Counter("serve.cache_hits").Inc()
+		s.cCacheHits.Inc()
 		return res, lookupMeta{cached: true}, nil
 	}
-	s.reg.Counter("serve.cache_misses").Inc()
+	s.cCacheMisses.Inc()
 	res, coalesced, err := s.flights.do(ctx, flightKey{name: name, version: version},
 		func(fctx context.Context) (*NameResult, error) {
 			return s.compute(fctx, name, version)
 		})
 	if coalesced {
-		s.reg.Counter("serve.coalesced").Inc()
+		s.cCoalesced.Inc()
 	}
 	return res, lookupMeta{coalesced: coalesced}, err
 }
@@ -310,10 +561,25 @@ func (s *Server) lookup(ctx context.Context, name string) (*NameResult, lookupMe
 // server base context; a panic here (its own, or injected at
 // "serve.compute") is recovered into an incident-bearing result — one bad
 // request must never take the process down.
+//
+// Under tail sampling (Options.TailDir) each compute carries its own
+// engine trace: the backend's stage spans parent under a per-request name
+// span, and the finished trace rides the result so the flight recorder can
+// write it as an artifact if the request turns out slow or errored. Every
+// coalesced waiter shares the one trace; the cache stores a copy without it.
 func (s *Server) compute(fctx context.Context, name string, version int64) (res *NameResult, err error) {
+	var tr *trace.Trace
+	var nsp *trace.Span
+	if s.tailTrace {
+		tr = trace.New(trace.Options{RootName: "request"})
+		nsp = tr.Start(trace.NameSpanPrefix+name, trace.Int("version", version))
+	}
 	defer func() {
 		if p := recover(); p != nil {
-			s.reg.Counter("serve.panics").Inc()
+			s.cPanics.Inc()
+			nsp.Event("incident",
+				trace.String("reason", string(core.IncidentPanic)),
+				trace.String("error", fmt.Sprint(p)))
 			res = &NameResult{
 				Name:    name,
 				Version: version,
@@ -326,6 +592,13 @@ func (s *Server) compute(fctx context.Context, name string, version int64) (res 
 			}
 			err = nil
 		}
+		if tr != nil {
+			nsp.End()
+			tr.Finish()
+			if res != nil {
+				res.trace = tr
+			}
+		}
 	}()
 	release, aerr := s.adm.acquire(fctx)
 	if aerr != nil {
@@ -335,12 +608,19 @@ func (s *Server) compute(fctx context.Context, name string, version int64) (res 
 	if ferr := fault.Point(fctx, "serve.compute"); ferr != nil {
 		return nil, ferr
 	}
-	s.reg.Counter("serve.computes").Inc()
+	s.cComputes.Inc()
 	sp := s.reg.StartStage("serve.compute")
-	groups, inc, err := s.backend.Disambiguate(fctx, name, core.BatchOptions{
+	opts := core.BatchOptions{
 		NameTimeout:   s.nameTimeout,
 		DegradedPaths: s.degraded,
-	})
+	}
+	var groups [][]string
+	var inc *core.Incident
+	if s.traced != nil && nsp != nil {
+		groups, inc, err = s.traced.DisambiguateAt(fctx, nsp, name, opts)
+	} else {
+		groups, inc, err = s.backend.Disambiguate(fctx, name, opts)
+	}
 	sp.End(1)
 	if err != nil {
 		return nil, err
@@ -355,16 +635,26 @@ func (s *Server) compute(fctx context.Context, name string, version int64) (res 
 		res.Incident = &IncidentBody{Reason: string(inc.Reason), Stage: inc.Stage, Error: inc.Err}
 		res.Degraded = inc.Reason == core.IncidentDegraded || inc.Reason == core.IncidentTimeout
 		if res.Degraded {
-			s.reg.Counter("serve.degraded").Inc()
+			s.cDegraded.Inc()
 		}
+		nsp.Event("incident",
+			trace.String("reason", string(inc.Reason)),
+			trace.String("stage", inc.Stage))
 	}
 	// Only clean results are cached, and only when the database did not
 	// move under the computation: a result computed while an Insert landed
 	// may mix old and new contents, and storing it under the pre-compute
-	// version would serve it as that version's truth.
+	// version would serve it as that version's truth. The cache gets a
+	// trace-free copy: a cached result outlives this request.
 	if inc == nil && s.backend.Version() == version {
-		if evicted := s.cache.put(name, version, res); evicted > 0 {
-			s.reg.Counter("serve.cache_evictions").Add(evicted)
+		stored := res
+		if tr != nil {
+			cp := *res
+			cp.trace = nil
+			stored = &cp
+		}
+		if evicted := s.cache.put(name, version, stored); evicted > 0 {
+			s.cCacheEvict.Add(evicted)
 		}
 	}
 	return res, nil
@@ -402,7 +692,7 @@ func (s *Server) errStatus(err error) (int, string) {
 	}
 }
 
-func (s *Server) handleName(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleName(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	name := r.PathValue("name")
 	if name == "" {
 		s.writeError(w, http.StatusBadRequest, "empty name")
@@ -412,9 +702,11 @@ func (s *Server) handleName(w http.ResponseWriter, r *http.Request) {
 	res, meta, err := s.lookup(r.Context(), name)
 	if err != nil {
 		status, msg := s.errStatus(err)
+		ri.noteError(name, msg, meta)
 		s.writeError(w, status, msg)
 		return
 	}
+	ri.noteResult(meta, res)
 	writeJSON(w, statusFor(res), nameEnvelope{
 		NameResult: res,
 		Cached:     meta.cached,
@@ -423,7 +715,7 @@ func (s *Server) handleName(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	var req batchRequest
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -439,28 +731,94 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d names exceeds the limit of %d", len(req.Names), s.maxBatch))
 		return
 	}
-	s.reg.Counter("serve.batch_requests").Inc()
+	s.cBatch.Inc()
+	if ri != nil {
+		ri.noteName(batchLabel(req.Names))
+	}
 	t0 := time.Now()
+
+	// Deduplicate to distinct names (first-occurrence order) so a batch
+	// with repeats does each name's work once, then fan the distinct names
+	// out over a bounded worker set. The coalescer would catch concurrent
+	// duplicates anyway; deduping first avoids even the flight handoff.
+	idx := make(map[string]int, len(req.Names))
+	uniq := make([]string, 0, len(req.Names))
+	for _, name := range req.Names {
+		if _, ok := idx[name]; !ok {
+			idx[name] = len(uniq)
+			uniq = append(uniq, name)
+		}
+	}
+	if d := len(req.Names) - len(uniq); d > 0 {
+		s.cBatchDedup.Add(int64(d))
+	}
+
+	type outcome struct {
+		res  *NameResult
+		meta lookupMeta
+		err  error
+	}
+	outs := make([]outcome, len(uniq))
+	run := func(i int) {
+		if err := r.Context().Err(); err != nil {
+			outs[i].err = err
+			return
+		}
+		outs[i].res, outs[i].meta, outs[i].err = s.lookup(r.Context(), uniq[i])
+	}
+	if fan := min(s.batchFanout, len(uniq)); fan <= 1 {
+		for i := range uniq {
+			run(i)
+		}
+	} else {
+		// Workers claim indices off a shared counter: cheap, order-free, and
+		// the deterministic response order is restored by assembly below.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(fan)
+		for range fan {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(uniq) {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Assemble in request order: every occurrence of a name shares its one
+	// outcome, so responses are deterministic regardless of fan-out timing.
 	resp := batchResponse{Version: s.backend.Version(), Results: make([]batchItem, 0, len(req.Names))}
 	for _, name := range req.Names {
-		if r.Context().Err() != nil {
-			break
-		}
-		res, meta, err := s.lookup(r.Context(), name)
-		if err != nil {
-			status, msg := s.errStatus(err)
+		o := outs[idx[name]]
+		if o.err != nil {
+			status, msg := s.errStatus(o.err)
 			resp.Results = append(resp.Results, batchItem{Name: name, Error: msg, Status: status})
 			continue
 		}
+		ri.noteFlags(o.meta, o.res)
 		resp.Results = append(resp.Results, batchItem{
-			NameResult: res, Name: res.Name, Cached: meta.cached, Coalesced: meta.coalesced,
+			NameResult: o.res, Name: o.res.Name, Cached: o.meta.cached, Coalesced: o.meta.coalesced,
 		})
 	}
 	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleNames(w http.ResponseWriter, r *http.Request) {
+// batchLabel summarizes a batch's names for the flight record.
+func batchLabel(names []string) string {
+	if len(names) == 1 {
+		return names[0]
+	}
+	return fmt.Sprintf("%s +%d more", names[0], len(names)-1)
+}
+
+func (s *Server) handleNames(w http.ResponseWriter, r *http.Request, _ *reqInfo) {
 	minRefs := 2
 	if v := r.URL.Query().Get("min_refs"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -480,10 +838,26 @@ func (s *Server) handleNames(w http.ResponseWriter, r *http.Request) {
 	}{Version: s.backend.Version(), Names: names})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.Lock()
 	draining := s.draining
 	s.drainMu.Unlock()
+	// ?verbose=1 returns a JSON body with the rolling SLO window; the plain
+	// form stays a byte-stable "ok\n" (load balancers and the golden HTTP
+	// test both key on it).
+	if r.URL.Query().Get("verbose") != "" {
+		status, text := http.StatusOK, "ok"
+		if draining {
+			status, text = http.StatusServiceUnavailable, "draining"
+			w.Header().Set("Retry-After", retryAfterValue(s.retryAfter))
+		}
+		writeJSON(w, status, struct {
+			Status   string    `json:"status"`
+			Draining bool      `json:"draining"`
+			SLO      sloStatus `json:"slo"`
+		}{Status: text, Draining: draining, SLO: s.slo.status(time.Now())})
+		return
+	}
 	if draining {
 		w.Header().Set("Retry-After", retryAfterValue(s.retryAfter))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -500,11 +874,11 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 		w.Header().Set("Retry-After", retryAfterValue(s.retryAfter))
 	}
 	if status == http.StatusTooManyRequests {
-		s.reg.Counter("serve.rejected_429").Inc()
+		s.cRejected429.Inc()
 	} else if status >= 500 && status != http.StatusServiceUnavailable {
-		s.reg.Counter("serve.errors").Inc()
+		s.cErrors.Inc()
 	} else if status == http.StatusNotFound {
-		s.reg.Counter("serve.not_found").Inc()
+		s.cNotFound.Inc()
 	}
 	writeJSON(w, status, errorBody{Error: msg, Status: status})
 }
