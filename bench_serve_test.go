@@ -63,10 +63,17 @@ func benchServeServer(b *testing.B) (http.Handler, []string) {
 	eng, names := benchServeEngine(b)
 	// Observability at production defaults: the flight recorder rides along
 	// (default-on) and access logs run at the default 1-in-100 sample, so
-	// the throughput number prices in the instrumented request path.
+	// the throughput number prices in the instrumented request path. The
+	// overload machinery is on too — per-client quotas (rate high enough to
+	// never throttle: httptest requests share one remote address, so they all
+	// charge one bucket), the brownout ladder, and stale-while-revalidate at
+	// its default window — pricing in the per-request cost of the resilience
+	// checks themselves.
 	srv, err := distinct.NewAPIServer(distinct.APIOptions{
 		Backend:   eng.APIBackend("paper-key"),
 		AccessLog: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		QuotaRPS:  1e9,
+		Brownout:  true,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -30,12 +30,27 @@
 //	          [-flight N]         flight-recorder ring size (/debug/requests)
 //	          [-tail-slow D]      tail-sampling latency threshold
 //	          [-tail-dir DIR]     per-request trace artifacts for the tail
+//	          [-max-stale D]      stale-while-revalidate window (0 default 30s, -1s off)
+//	          [-quota-rps R]      per-client token-bucket rate (0 disables quotas)
+//	          [-quota-burst N]    per-client bucket capacity (0 = 2x rps, min 8)
+//	          [-quota-concurrency N]  per-client in-flight cap (0 = unlimited)
+//	          [-brownout]         load-shed ladder + retry budget (default on)
+//	          [-admin-bump]       mount POST /debug/bump (overload drills only)
 //
 // Every response carries an X-Request-ID (client-echoed or minted) and, when
 // the client sent a W3C traceparent, a traceparent reply with this server's
 // span id. /debug/requests shows the flight recorder: the last N requests
 // plus the K slowest and the recent errors, with trace artifact paths when
 // -tail-dir is set. See DESIGN.md §14.
+//
+// Under overload the server degrades in order rather than falling off a
+// cliff: stale-while-revalidate keeps hot names answering across version
+// bumps, per-client quotas (keyed by X-Api-Key, else remote host) throttle
+// hot clients with 429 before they can starve quiet ones, and the brownout
+// ladder walks through forced-degraded computes, frozen revalidation, and
+// finally 503 shedding of uncached lookups — recovering with hysteresis.
+// /healthz?verbose=1 reports the ladder state; /debug/quotas the per-client
+// table. See DESIGN.md §15.
 package main
 
 import (
@@ -81,6 +96,12 @@ func run() error {
 		tailDir      = flag.String("tail-dir", "", "directory for tail-sampled per-request trace artifacts (empty disables)")
 		sloTarget    = flag.Float64("slo-target", 0, "availability objective for the burn-rate gauge (0 = default 0.99)")
 		batchFanout  = flag.Int("batch-fanout", 0, "concurrent lookups per batch request (0 = default 8, capped at concurrency)")
+		maxStale     = flag.Duration("max-stale", 0, "stale-while-revalidate window after a version bump (0 = default 30s, negative disables)")
+		quotaRPS     = flag.Float64("quota-rps", 0, "per-client token-bucket refill rate; 0 disables per-client quotas")
+		quotaBurst   = flag.Int("quota-burst", 0, "per-client bucket capacity (0 = 2x quota-rps, min 8)")
+		quotaConc    = flag.Int("quota-concurrency", 0, "per-client in-flight request cap (0 = unlimited)")
+		brownout     = flag.Bool("brownout", true, "enable the brownout load-shed ladder and retry budget")
+		adminBump    = flag.Bool("admin-bump", false, "mount POST /debug/bump (synthetic version bump for overload drills)")
 	)
 	flag.Parse()
 
@@ -154,19 +175,25 @@ func run() error {
 		accessLogger = lg
 	}
 	api, err := distinct.NewAPIServer(distinct.APIOptions{
-		Backend:         eng.APIBackend(*renderAttr),
-		Obs:             reg,
-		CacheBytes:      *cacheBytes,
-		Concurrency:     *concurrency,
-		MaxQueue:        *maxQueue,
-		NameTimeout:     *nameTimeout,
-		FlightRecords:   *flightN,
-		TailSlow:        *tailSlow,
-		TailDir:         *tailDir,
-		AccessLog:       accessLogger,
-		AccessLogSample: *accessSample,
-		SLOTarget:       *sloTarget,
-		BatchFanout:     *batchFanout,
+		Backend:          eng.APIBackend(*renderAttr),
+		Obs:              reg,
+		CacheBytes:       *cacheBytes,
+		Concurrency:      *concurrency,
+		MaxQueue:         *maxQueue,
+		NameTimeout:      *nameTimeout,
+		FlightRecords:    *flightN,
+		TailSlow:         *tailSlow,
+		TailDir:          *tailDir,
+		AccessLog:        accessLogger,
+		AccessLogSample:  *accessSample,
+		SLOTarget:        *sloTarget,
+		BatchFanout:      *batchFanout,
+		MaxStale:         *maxStale,
+		QuotaRPS:         *quotaRPS,
+		QuotaBurst:       *quotaBurst,
+		QuotaConcurrency: *quotaConc,
+		Brownout:         *brownout,
+		AllowBump:        *adminBump,
 	})
 	if err != nil {
 		return err
@@ -178,7 +205,8 @@ func run() error {
 		return err
 	}
 	lg.Info("serving", "addr", srv.Addr(),
-		"cache_bytes", *cacheBytes, "concurrency", *concurrency, "name_timeout", *nameTimeout)
+		"cache_bytes", *cacheBytes, "concurrency", *concurrency, "name_timeout", *nameTimeout,
+		"max_stale", *maxStale, "quota_rps", *quotaRPS, "brownout", *brownout)
 
 	<-ctx.Done()
 	stop() // a second signal now kills the process the default way

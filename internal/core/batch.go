@@ -89,6 +89,21 @@ type BatchOptions struct {
 	// DegradedPaths is how many of the strongest join paths the degraded
 	// retry keeps; 0 means DefaultDegradedPaths.
 	DegradedPaths int
+	// ForceDegraded runs the FIRST attempt on the degraded (top-k path)
+	// view instead of reserving it for the over-budget retry — the serving
+	// layer's brownout ladder sets it under sustained overload so every
+	// compute sheds quality before the server sheds load. A successful
+	// forced attempt carries an IncidentDegraded incident with stage
+	// "brownout" so callers (and clients) can tell a server-forced
+	// degradation from a budget-driven one. When the engine has no paths to
+	// cut the attempt runs clean and no incident is reported.
+	ForceDegraded bool
+	// RetryGate, when non-nil, is consulted immediately before the degraded
+	// retry of a blown budget. Returning false skips the retry — the name
+	// goes straight to its conservative single group. The serving layer
+	// plugs its retry budget in here so a saturated server does not double
+	// its own load with retries; nil always allows the retry.
+	RetryGate func() bool
 }
 
 // DisambiguateAll runs DISTINCT over every name with at least minRefs

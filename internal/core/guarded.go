@@ -19,9 +19,12 @@ import (
 
 // attemptLadder runs one name's disambiguation under the resilience ladder:
 //
-//  1. a guarded attempt on the full engine under the per-name budget;
+//  1. a guarded attempt on the full engine under the per-name budget —
+//     or, under opts.ForceDegraded (a serving-layer brownout), directly on
+//     the degraded view;
 //  2. on a blown budget, one guarded retry on the degraded view (top-k
-//     join paths) under a fresh budget;
+//     join paths) under a fresh budget — unless the attempt was already
+//     degraded, or opts.RetryGate refuses (retry budget exhausted);
 //  3. on panic, error, or a second blown budget, the references are kept as
 //     one conservative group.
 //
@@ -49,11 +52,25 @@ func (e *Engine) attemptLadder(ctx context.Context, nsp *trace.Span, name string
 		return ctx, func() {}
 	}
 
+	// A brownout-forced compute starts on the degraded view: the quality
+	// cut the over-budget retry would make, taken up front because the
+	// server (not this name) is in trouble. The incident it reports keeps
+	// the serving envelope honest (degraded: true, stage "brownout").
+	eng := e
+	var forced *Incident
+	if opts.ForceDegraded {
+		if de := e.degraded(opts.DegradedPaths); de != e {
+			eng = de
+			forced = &Incident{Name: name, Stage: "brownout",
+				Reason: IncidentDegraded, Err: "server-forced degraded path"}
+		}
+	}
+
 	nctx, cancel := withBudget()
-	groups, err := attempt(e, nctx)
+	groups, err := attempt(eng, nctx)
 	cancel()
 	if err == nil {
-		return groups, nil, nil
+		return groups, forced, nil
 	}
 	if ctx.Err() != nil {
 		// The parent context ended: not a per-name incident.
@@ -67,8 +84,12 @@ func (e *Engine) attemptLadder(ctx context.Context, nsp *trace.Span, name string
 			Name: name, Stage: stage, Reason: IncidentPanic, Err: pe.Error()}, nil
 	case errors.Is(err, context.DeadlineExceeded):
 		// Per-name budget blown: retry once in degraded mode under a fresh
-		// budget (when the path set can actually be cut).
-		if de := e.degraded(opts.DegradedPaths); de != e {
+		// budget (when the path set can actually be cut). A forced-degraded
+		// attempt was already on the cut path — retrying it would repeat
+		// the same work — and the retry gate can refuse when the server's
+		// retry budget is spent.
+		if de := e.degraded(opts.DegradedPaths); de != e && eng != de &&
+			(opts.RetryGate == nil || opts.RetryGate()) {
 			nctx, cancel = withBudget()
 			g2, derr := attempt(de, nctx)
 			cancel()

@@ -116,6 +116,65 @@ func TestDisambiguateNameGuardedTimeoutLadder(t *testing.T) {
 	}
 }
 
+func TestDisambiguateNameGuardedForceDegraded(t *testing.T) {
+	w := testWorld(t)
+	e := newTestEngine(t, w, true)
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	refs := e.RefsForName("Wei Wang")
+	groups, inc, err := e.DisambiguateNameGuarded(context.Background(), "Wei Wang",
+		BatchOptions{ForceDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc == nil || inc.Reason != IncidentDegraded || inc.Stage != "brownout" {
+		t.Fatalf("want degraded incident with stage brownout, got %+v", inc)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != len(refs) {
+		t.Fatalf("forced-degraded groups cover %d of %d refs", total, len(refs))
+	}
+}
+
+func TestDisambiguateNameGuardedRetryGateRefused(t *testing.T) {
+	w := testWorld(t)
+	e := newTestEngine(t, w, true)
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// Every attempt blows the budget; a closed retry gate must keep the
+	// ladder from even starting the degraded retry — one attempt, straight
+	// to the conservative single group as a timeout incident.
+	f := fault.NewRegistry(1)
+	f.Set("core.similarities", fault.Rule{Every: 1, Delay: 10 * time.Second})
+	refs := e.RefsForName("Wei Wang")
+	gateCalls := 0
+	groups, inc, err := e.DisambiguateNameGuarded(fault.With(context.Background(), f), "Wei Wang",
+		BatchOptions{
+			NameTimeout: 100 * time.Millisecond,
+			RetryGate:   func() bool { gateCalls++; return false },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gateCalls != 1 {
+		t.Fatalf("retry gate consulted %d times, want 1", gateCalls)
+	}
+	if inc == nil || inc.Reason != IncidentTimeout {
+		t.Fatalf("want timeout incident, got %+v", inc)
+	}
+	if got := f.Hits("core.similarities"); got != 1 {
+		t.Fatalf("similarities attempted %d times with a closed gate, want 1", got)
+	}
+	if len(groups) != 1 || len(groups[0]) != len(refs) {
+		t.Fatalf("fallback groups %d, want one group of %d refs", len(groups), len(refs))
+	}
+}
+
 func TestDisambiguateNameGuardedParentCancelled(t *testing.T) {
 	w := testWorld(t)
 	e := newTestEngine(t, w, true)

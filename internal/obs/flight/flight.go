@@ -69,6 +69,15 @@ type Record struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	Degraded  bool `json:"degraded,omitempty"`
 	NegCached bool `json:"neg_cached,omitempty"`
+	// Stale marks a response served from a previous database version inside
+	// the stale-while-revalidate window.
+	Stale bool `json:"stale,omitempty"`
+	// Client is the quota identity the request was charged to, when
+	// per-client quotas are enabled.
+	Client string `json:"client,omitempty"`
+	// Brownout is the load-shed ladder's level at response time, recorded
+	// only when engaged ("degraded", "stale", "shed").
+	Brownout string `json:"brownout,omitempty"`
 	// Incident is the incident reason ("panic", "timeout", ...) when the
 	// computation deviated from the clean path.
 	Incident string `json:"incident,omitempty"`

@@ -147,6 +147,21 @@ func (db *Database) Insert(relation string, vals ...Value) (TupleID, error) {
 	return id, nil
 }
 
+// Bump records a synthetic mutation: compiled hop plans are invalidated and
+// the version is bumped without any data change. Overload drills use it to
+// exercise version-keyed caches (stale-while-revalidate, matrix reuse) at a
+// controlled cadence without crafting schema-correct tuples. The ordering
+// mirrors Insert — invalidate BEFORE the bump — so the version/invalidation
+// contract version-keyed readers rely on holds here too. Returns the new
+// version.
+func (db *Database) Bump() int64 {
+	db.invalidatePlans()
+	if db.testHookBeforeVersionBump != nil {
+		db.testHookBeforeVersionBump()
+	}
+	return db.version.Add(1)
+}
+
 // MustInsert is Insert that panics on error; for use by generators and tests
 // whose schemas are statically correct.
 func (db *Database) MustInsert(relation string, vals ...Value) TupleID {

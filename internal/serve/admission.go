@@ -69,3 +69,12 @@ func (a *admission) acquire(ctx context.Context) (func(), error) {
 }
 
 func (a *admission) release() { a.slots <- struct{}{} }
+
+// queueFrac reports how full the wait queue is (0..~1) — one of the two
+// signals driving the brownout ladder.
+func (a *admission) queueFrac() float64 {
+	if a.maxQueue <= 0 {
+		return 0
+	}
+	return float64(a.queued.Load()) / float64(a.maxQueue)
+}

@@ -39,6 +39,15 @@ type Backend interface {
 	Version() int64
 }
 
+// Mutator is the optional mutation extension of Backend: a backend whose
+// version counter can be bumped synthetically. Options.AllowBump mounts it
+// at POST /debug/bump so overload drills (loadgen's insert-while-serving
+// mode, chaos tests) can outdate every version-keyed cache on demand.
+type Mutator interface {
+	// Bump records a synthetic mutation and returns the new version.
+	Bump() int64
+}
+
 // TracedBackend is the optional tracing extension of Backend: a backend
 // that can parent the engine's stage spans under a caller-provided span.
 // The server type-asserts for it when per-request trace capture is on
@@ -96,6 +105,9 @@ func (b *EngineBackend) NumRefs(name string) int { return len(b.eng.RefsForName(
 func (b *EngineBackend) Names(minRefs int) []string { return b.eng.NamesWithRefs(minRefs) }
 
 func (b *EngineBackend) Version() int64 { return b.eng.DB().Version() }
+
+// Bump implements Mutator via the database's synthetic mutation.
+func (b *EngineBackend) Bump() int64 { return b.eng.DB().Bump() }
 
 // defaultNameTimeout bounds one name's computation when Options.NameTimeout
 // is zero: past it the engine degrades, then falls back, so a request is

@@ -9,23 +9,33 @@ func mkResult(name string, version int64, keys ...string) *NameResult {
 	return &NameResult{Name: name, Version: version, NumRefs: len(keys), Groups: [][]string{keys}}
 }
 
+// cget probes with staleness disabled, collapsing the (result, state) pair
+// to the pre-SWR single-value contract the version-strict tests pin.
+func cget(c *resultCache, name string, version int64) *NameResult {
+	res, state := c.get(name, version, 0)
+	if state != cacheFresh {
+		return nil
+	}
+	return res
+}
+
 func TestResultCacheHitAndStalePurge(t *testing.T) {
 	c := newResultCache(1 << 20)
 	r0 := mkResult("Wei Wang", 0, "a", "b")
 	c.put("Wei Wang", 0, r0)
-	if got := c.get("Wei Wang", 0); got != r0 {
+	if got := cget(c, "Wei Wang", 0); got != r0 {
 		t.Fatal("fresh entry missed")
 	}
 	// A probe at a newer version (an Insert happened) must miss AND purge:
 	// version 0's key can never be produced again.
-	if got := c.get("Wei Wang", 1); got != nil {
+	if got := cget(c, "Wei Wang", 1); got != nil {
 		t.Fatalf("stale entry served: %+v", got)
 	}
 	if c.Len() != 0 {
 		t.Fatalf("stale entry still resident, len=%d", c.Len())
 	}
 	// Even a later probe at the old version can't resurrect it.
-	if got := c.get("Wei Wang", 0); got != nil {
+	if got := cget(c, "Wei Wang", 0); got != nil {
 		t.Fatal("purged entry reappeared")
 	}
 }
@@ -38,12 +48,12 @@ func TestResultCacheNewerVersionReplaces(t *testing.T) {
 	if c.Len() != 1 {
 		t.Fatalf("len=%d after replace, want 1", c.Len())
 	}
-	if got := c.get("Wei Wang", 1); got != r1 {
+	if got := cget(c, "Wei Wang", 1); got != r1 {
 		t.Fatal("replacement missed")
 	}
 	// A racing store of an older version must lose, not clobber.
 	c.put("Wei Wang", 0, mkResult("Wei Wang", 0, "stale"))
-	if got := c.get("Wei Wang", 1); got != r1 {
+	if got := cget(c, "Wei Wang", 1); got != r1 {
 		t.Fatal("older racing store clobbered the newer entry")
 	}
 }
@@ -62,10 +72,10 @@ func TestResultCacheByteBoundEviction(t *testing.T) {
 		t.Fatalf("nothing evicted, len=%d", c.Len())
 	}
 	// The most recent entry must have survived; the very first must not.
-	if c.get("name-09", 0) == nil {
+	if cget(c, "name-09", 0) == nil {
 		t.Error("most recent entry evicted")
 	}
-	if c.get("name-00", 0) != nil {
+	if cget(c, "name-00", 0) != nil {
 		t.Error("least recent entry survived a full budget sweep")
 	}
 }
@@ -75,19 +85,19 @@ func TestResultCacheLRUOrder(t *testing.T) {
 	c.put("a", 0, mkResult("a", 0, "x"))
 	c.put("b", 0, mkResult("b", 0, "x"))
 	c.put("c", 0, mkResult("c", 0, "x"))
-	c.get("a", 0) // refresh a: b is now least recent
+	cget(c, "a", 0) // refresh a: b is now least recent
 	// Budget the next put so exactly one eviction is needed; the victim
 	// must be b, the least recently used, not the refreshed a.
 	d := mkResult("d", 0, "x")
 	c.budget = c.used + resultBytes("d", d) - 1
 	c.put("d", 0, d)
-	if c.get("b", 0) != nil {
+	if cget(c, "b", 0) != nil {
 		t.Error("LRU victim b survived")
 	}
-	if c.get("a", 0) == nil {
+	if cget(c, "a", 0) == nil {
 		t.Error("recently used entry a evicted before b")
 	}
-	if c.get("c", 0) == nil {
+	if cget(c, "c", 0) == nil {
 		t.Error("entry c evicted though one eviction sufficed")
 	}
 }
@@ -95,7 +105,7 @@ func TestResultCacheLRUOrder(t *testing.T) {
 func TestResultCacheOversizedEntryKept(t *testing.T) {
 	c := newResultCache(10) // smaller than any entry
 	c.put("huge", 0, mkResult("huge", 0, "aaaaaaaaaaaaaaaaaaaaaaaa"))
-	if c.get("huge", 0) == nil {
+	if cget(c, "huge", 0) == nil {
 		t.Fatal("oversized entry not kept alone")
 	}
 	if c.Len() != 1 {
@@ -105,7 +115,7 @@ func TestResultCacheOversizedEntryKept(t *testing.T) {
 
 func TestNilCacheIsInert(t *testing.T) {
 	var c *resultCache
-	if c.get("x", 0) != nil || c.put("x", 0, mkResult("x", 0)) != 0 || c.Len() != 0 {
+	if cget(c, "x", 0) != nil || c.put("x", 0, mkResult("x", 0)) != 0 || c.Len() != 0 {
 		t.Fatal("nil cache not inert")
 	}
 }

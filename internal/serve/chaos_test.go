@@ -177,6 +177,82 @@ func TestChaosDelayPastDeadlineDegrades(t *testing.T) {
 	}
 }
 
+// TestChaosQuotaFaultForces429: an injected failure at "serve.quota" forces
+// the throttle path — 429 with Retry-After — without crafting real bucket
+// exhaustion, and the admitted slot is released so the client is not leaked
+// a phantom in-flight request (the next request, rule spent, succeeds).
+func TestChaosQuotaFaultForces429(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	f := fault.NewRegistry(1)
+	f.Set("serve.quota", fault.Rule{OnHit: 1})
+	s := newTestServer(t, b, func(o *Options) {
+		o.Fault = f
+		o.QuotaRPS = 1000
+		o.QuotaConcurrency = 1 // a leaked slot would block the follow-up
+	})
+
+	w, body := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("injected 429 without Retry-After")
+	}
+	if body["error"] != "client quota exceeded" {
+		t.Errorf("body: %v", body)
+	}
+	if got := f.Hits("serve.quota"); got != 1 {
+		t.Errorf("serve.quota hits = %d", got)
+	}
+	// Rule spent: the same client (and its concurrency slot of 1) sails
+	// through — the injected throttle released what it acquired.
+	w2, _ := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if w2.Code != http.StatusOK {
+		t.Fatalf("post-fault status %d, quota slot leaked", w2.Code)
+	}
+}
+
+// TestChaosRevalidateFaultKeepsStale: an injected error at
+// "serve.revalidate" kills the background recompute behind a stale hit. The
+// stale entry must keep serving — a failed revalidation degrades freshness,
+// never availability — and the next stale hit launches a fresh flight that,
+// rule spent, lands the new version.
+func TestChaosRevalidateFaultKeepsStale(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	f := fault.NewRegistry(1)
+	f.Set("serve.revalidate", fault.Rule{OnHit: 1})
+	s := newTestServer(t, b, func(o *Options) {
+		o.Fault = f
+		o.MaxStale = time.Minute
+	})
+
+	doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "") // warm at v0
+	b.Bump()
+
+	// Stale hit: served stale, revalidation launched into the injected error.
+	_, body := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if body["stale"] != true {
+		t.Fatalf("first post-bump response not stale: %v", body)
+	}
+	waitUntil(t, "failed revalidation flight drained", func() bool {
+		return f.Hits("serve.revalidate") == 1 && s.flights.inflight() == 0
+	})
+
+	// Still serving stale — the failure cost freshness only — and this hit's
+	// relaunch (rule spent) succeeds and publishes the new version.
+	_, body = doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+	if body["stale"] != true {
+		t.Fatalf("stale entry gone after failed revalidation: %v", body)
+	}
+	waitUntil(t, "second revalidation published", func() bool {
+		_, resp := doJSON(t, s.Handler(), "GET", "/v1/name/Wei%20Wang", "")
+		return resp["version"].(float64) == 1 && resp["stale"] == nil
+	})
+	if got := s.reg.Counter("serve.revalidations").Value(); got != 2 {
+		t.Errorf("serve.revalidations = %d, want 2", got)
+	}
+}
+
 // TestDrainWaitsForInflight extends the obs drain test to the serving
 // stack: a slow in-flight request completes with its real response while
 // new requests get 503, and Drain returns only after the last in-flight

@@ -68,6 +68,8 @@ type reqInfo struct {
 	coalesced bool
 	degraded  bool
 	negCached bool
+	stale     bool
+	client    string
 	incident  string
 	errMsg    string
 	tr        *trace.Trace
@@ -89,6 +91,7 @@ func (ri *reqInfo) noteResult(meta lookupMeta, res *NameResult) {
 	ri.cached = meta.cached
 	ri.coalesced = meta.coalesced
 	ri.degraded = res.Degraded
+	ri.stale = meta.stale
 	if res.Incident != nil {
 		ri.incident = res.Incident.Reason
 	}
@@ -104,6 +107,7 @@ func (ri *reqInfo) noteError(name, msg string, meta lookupMeta) {
 	ri.name = name
 	ri.errMsg = msg
 	ri.negCached = meta.negCached
+	ri.stale = meta.stale
 }
 
 // noteName records just the subject (batch summary labels).
@@ -122,6 +126,7 @@ func (ri *reqInfo) noteFlags(meta lookupMeta, res *NameResult) {
 	ri.cached = ri.cached || meta.cached
 	ri.coalesced = ri.coalesced || meta.coalesced
 	ri.degraded = ri.degraded || res.Degraded
+	ri.stale = ri.stale || meta.stale
 	if ri.incident == "" && res.Incident != nil {
 		ri.incident = res.Incident.Reason
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Negative-result cache for the 404 path: a count-bounded LRU of names known
@@ -11,7 +12,11 @@ import (
 // typo storms) repeat the same unknown names, so remembering "not found at
 // version V" turns those repeats into a map hit. Version-keyed like the
 // result cache: an Insert bumps the version and every negative entry goes
-// stale at once — a name absent at version V may well exist at V+1.
+// stale at once — a name absent at version V may well exist at V+1. Inside
+// the stale-while-revalidate window a stale negative is still served (as a
+// 404 marked stale) while a background flight re-checks the name at the new
+// version; a name that just appeared is the one case staleness can hide,
+// which is exactly what the window bounds.
 
 // DefaultNegCacheEntries is the negative-cache capacity Options.
 // NegCacheEntries = 0 selects. Entries are a map slot plus the name bytes,
@@ -22,6 +27,9 @@ type negEntry struct {
 	name    string
 	version int64
 	elem    *list.Element
+	// staleSince mirrors cacheEntry.staleSince: zero while fresh, set when
+	// the entry is first observed at an older version than the probe.
+	staleSince time.Time
 }
 
 // negCache is a count-bounded LRU of (name, version) not-found facts. Safe
@@ -31,30 +39,43 @@ type negCache struct {
 	cap int
 	ll  *list.List // front = most recently used; values are *negEntry
 	m   map[string]*negEntry
+	now func() time.Time // swappable clock for staleness tests
 }
 
 func newNegCache(capacity int) *negCache {
-	return &negCache{cap: capacity, ll: list.New(), m: make(map[string]*negEntry)}
+	return &negCache{cap: capacity, ll: list.New(), m: make(map[string]*negEntry), now: time.Now}
 }
 
-// get reports whether name is known-absent at version. A stale entry (older
-// version) is purged on the way through, mirroring resultCache.get.
-func (c *negCache) get(name string, version int64) bool {
+// get reports whether name is known-absent at version, and — when the known
+// fact is from an older version inside the maxStale window — whether it is
+// being served stale. Past the window (or with maxStale <= 0) an old entry
+// is purged on the way through, mirroring resultCache.get.
+func (c *negCache) get(name string, version int64, maxStale time.Duration) (hit, stale bool) {
 	if c == nil {
-		return false
+		return false, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[name]
 	if !ok {
-		return false
+		return false, false
 	}
-	if e.version != version {
-		c.remove(e)
-		return false
+	if e.version == version {
+		c.ll.MoveToFront(e.elem)
+		return true, false
 	}
-	c.ll.MoveToFront(e.elem)
-	return true
+	if e.version < version && maxStale > 0 {
+		now := c.now()
+		if e.staleSince.IsZero() {
+			e.staleSince = now
+		}
+		if now.Sub(e.staleSince) <= maxStale {
+			c.ll.MoveToFront(e.elem)
+			return true, true
+		}
+	}
+	c.remove(e)
+	return false, false
 }
 
 // put records that name had no references at version, evicting the
@@ -82,6 +103,22 @@ func (c *negCache) put(name string, version int64) int64 {
 		evicted++
 	}
 	return evicted
+}
+
+// drop forgets name unconditionally. The compute path calls it when a
+// clean result is published: a positive fact at the current version
+// supersedes any negative fact, stale or not — without this, a stale
+// negative would keep winning the probe order over the freshly cached
+// result until the stale window closed.
+func (c *negCache) drop(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.m[name]; ok {
+		c.remove(e)
+	}
+	c.mu.Unlock()
 }
 
 // remove unlinks e; callers hold mu.

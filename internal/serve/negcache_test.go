@@ -11,18 +11,25 @@ import (
 	"distinct/internal/core"
 )
 
+// nget probes with staleness disabled, collapsing (hit, stale) to the
+// pre-SWR boolean the version-strict tests pin.
+func nget(c *negCache, name string, version int64) bool {
+	hit, _ := c.get(name, version, 0)
+	return hit
+}
+
 func TestNegCacheUnit(t *testing.T) {
 	nc := newNegCache(2)
-	if nc.get("a", 1) {
+	if nget(nc, "a", 1) {
 		t.Error("empty cache hit")
 	}
 	nc.put("a", 1)
 	nc.put("b", 1)
-	if !nc.get("a", 1) || !nc.get("b", 1) {
+	if !nget(nc, "a", 1) || !nget(nc, "b", 1) {
 		t.Error("fresh entries missing")
 	}
 	// A version bump invalidates (and purges) the stale entry.
-	if nc.get("a", 2) {
+	if nget(nc, "a", 2) {
 		t.Error("stale entry served across versions")
 	}
 	if nc.Len() != 1 {
@@ -30,19 +37,19 @@ func TestNegCacheUnit(t *testing.T) {
 	}
 	// LRU eviction: touch b, insert two more, b's competitor goes first.
 	nc.put("a", 2)
-	nc.get("a", 2) // refresh a
+	nget(nc, "a", 2) // refresh a
 	if ev := nc.put("c", 2); ev != 1 {
 		t.Errorf("evictions = %d, want 1", ev)
 	}
-	if !nc.get("a", 2) {
+	if !nget(nc, "a", 2) {
 		t.Error("recently used entry evicted")
 	}
-	if nc.get("b", 1) {
+	if nget(nc, "b", 1) {
 		t.Error("LRU victim survived")
 	}
 
 	var nilNC *negCache
-	if nilNC.get("x", 1) {
+	if nget(nilNC, "x", 1) {
 		t.Error("nil negcache hit")
 	}
 	nilNC.put("x", 1)

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuotaSetUnit drills the token bucket and concurrency cap directly.
+func TestQuotaSetUnit(t *testing.T) {
+	q := newQuotaSet(10, 2, 1, nil) // 10 rps, burst 2, 1 in flight
+	t0 := time.Unix(1000, 0)
+
+	rel1, _, ok := q.acquire("a", t0)
+	if !ok {
+		t.Fatal("first acquire throttled")
+	}
+	// Concurrency cap: a second in-flight request for the same client is
+	// refused with no refill hint.
+	if _, wait, ok := q.acquire("a", t0); ok || wait != 0 {
+		t.Fatalf("concurrency cap not enforced: ok=%v wait=%v", ok, wait)
+	}
+	rel1()
+	// Burst spent (2 tokens, 2 charges): the third charge is rate-throttled
+	// with a refill hint of ~1/10s.
+	if rel, _, ok := q.acquire("a", t0); !ok {
+		t.Fatal("second token refused")
+	} else {
+		rel()
+	}
+	_, wait, ok := q.acquire("a", t0)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if wait <= 0 || wait > 150*time.Millisecond {
+		t.Fatalf("refill hint = %v, want ~100ms", wait)
+	}
+	// Refill: 100ms at 10 rps returns one token.
+	if rel, _, ok := q.acquire("a", t0.Add(110*time.Millisecond)); !ok {
+		t.Fatal("refilled bucket refused")
+	} else {
+		rel()
+	}
+	// Clients are independent.
+	if rel, _, ok := q.acquire("b", t0); !ok {
+		t.Fatal("fresh client throttled by another client's spend")
+	} else {
+		rel()
+	}
+
+	st := q.status(t0.Add(time.Second))
+	if !st.Enabled || len(st.Clients) != 2 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Clients[0].Client != "a" || st.Clients[1].Client != "b" {
+		t.Fatalf("status not sorted: %+v", st.Clients)
+	}
+	if st.Clients[0].ThrottledRate != 1 || st.Clients[0].ThrottledConc != 1 {
+		t.Fatalf("client a throttle counts: %+v", st.Clients[0])
+	}
+
+	// Nil set admits everything.
+	var nq *quotaSet
+	if _, _, ok := nq.acquire("x", t0); !ok {
+		t.Fatal("nil quotaSet throttled")
+	}
+	if nq.status(t0).Enabled {
+		t.Fatal("nil quotaSet reports enabled")
+	}
+}
+
+// TestQuotaThrottles429 covers the HTTP surface: past the burst a client
+// gets 429 with Retry-After, the quota counter moves, and /debug/quotas
+// shows the client.
+func TestQuotaThrottles429(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	s := newTestServer(t, b, func(o *Options) {
+		o.QuotaRPS = 0.001 // effectively no refill within the test
+		o.QuotaBurst = 2
+	})
+	get := func(key string) int {
+		r := httptest.NewRequest("GET", "/v1/name/Wei%20Wang", nil)
+		if key != "" {
+			r.Header.Set("X-Api-Key", key)
+		}
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code == http.StatusTooManyRequests && w.Header().Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		return w.Code
+	}
+	codes := []int{get("hot"), get("hot"), get("hot"), get("hot")}
+	want := []int{200, 200, 429, 429}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("request %d status %d, want %d (all: %v)", i, codes[i], want[i], codes)
+		}
+	}
+	// Another identity is unaffected.
+	if got := get("cool"); got != http.StatusOK {
+		t.Fatalf("second client throttled by first: %d", got)
+	}
+	if got := s.reg.Counter("serve.quota_throttled").Value(); got != 2 {
+		t.Errorf("quota_throttled = %d, want 2", got)
+	}
+
+	w, resp := doJSON(t, s.Handler(), "GET", "/debug/quotas", "")
+	if w.Code != http.StatusOK || resp["enabled"] != true {
+		t.Fatalf("/debug/quotas: %d %v", w.Code, resp)
+	}
+	clients := resp["clients"].([]any)
+	if len(clients) != 2 {
+		t.Fatalf("clients = %d, want 2 (hot, cool)", len(clients))
+	}
+}
+
+// TestQuotaDisabledEndpoint: /debug/quotas stays mounted (and honest) when
+// quotas are off.
+func TestQuotaDisabledEndpoint(t *testing.T) {
+	s := newTestServer(t, newStubBackend("Wei Wang"), nil)
+	w, resp := doJSON(t, s.Handler(), "GET", "/debug/quotas", "")
+	if w.Code != http.StatusOK || resp["enabled"] != false {
+		t.Fatalf("/debug/quotas disabled: %d %v", w.Code, resp)
+	}
+}
+
+// TestQuotaFairness is the isolation property the tentpole is for: a hot
+// client slamming the server cannot push a quiet client's error rate above
+// zero. The hot client burns through its bucket and eats 429s; the quiet
+// client's paced requests all succeed because throttling happens before
+// the shared admission queue.
+func TestQuotaFairness(t *testing.T) {
+	b := newStubBackend("Wei Wang")
+	s := newTestServer(t, b, func(o *Options) {
+		o.QuotaRPS = 5
+		o.QuotaBurst = 10
+		o.QuotaConcurrency = 2
+		o.Concurrency = 2
+		o.MaxQueue = 4
+	})
+
+	shoot := func(key string) int {
+		r := httptest.NewRequest("GET", "/v1/name/Wei%20Wang", nil)
+		r.Header.Set("X-Api-Key", key)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		return w.Code
+	}
+
+	var wg sync.WaitGroup
+	hotCodes := make([]int, 200)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range hotCodes {
+			hotCodes[i] = shoot("hot")
+		}
+	}()
+
+	// The quiet client paces itself inside its own quota.
+	quietBad := 0
+	for i := 0; i < 8; i++ {
+		if c := shoot("quiet"); c != http.StatusOK {
+			quietBad++
+			t.Errorf("quiet request %d got %d", i, c)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	wg.Wait()
+
+	if quietBad != 0 {
+		t.Fatalf("quiet client saw %d non-200s", quietBad)
+	}
+	hot429 := 0
+	for _, c := range hotCodes {
+		switch c {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			hot429++
+		default:
+			t.Fatalf("hot client got unexpected status %d", c)
+		}
+	}
+	if hot429 == 0 {
+		t.Fatal("hot client was never throttled")
+	}
+}
+
+// TestClientIDExtraction pins the keying: header first, else remote host
+// without the per-connection port.
+func TestClientIDExtraction(t *testing.T) {
+	r := httptest.NewRequest("GET", "/v1/names", nil)
+	r.RemoteAddr = "192.0.2.7:4123"
+	if got := clientID(r); got != "192.0.2.7" {
+		t.Errorf("remote-addr identity = %q", got)
+	}
+	r.Header.Set("X-Api-Key", "tenant-1")
+	if got := clientID(r); got != "tenant-1" {
+		t.Errorf("header identity = %q", got)
+	}
+}

@@ -36,6 +36,10 @@ const (
 	// DefaultAccessLogSample logs one clean fast 200 in this many; errors,
 	// incidents, and slow requests always log.
 	DefaultAccessLogSample = 100
+	// DefaultMaxStale bounds stale-while-revalidate: after a version bump, a
+	// previous-version cache entry keeps serving (marked stale) for at most
+	// this long while a background flight recomputes at the new version.
+	DefaultMaxStale = 30 * time.Second
 )
 
 // Options configures a Server. Backend is required; everything else has a
@@ -98,6 +102,34 @@ type Options struct {
 	// NegCacheEntries caps the negative-result cache for the 404 path
 	// (0 = DefaultNegCacheEntries, negative disables).
 	NegCacheEntries int
+
+	// MaxStale bounds stale-while-revalidate: after a database version bump,
+	// cached previous-version results (and negative entries) keep serving —
+	// marked stale in the envelope — for up to this long while a single
+	// background flight recomputes at the new version. 0 = DefaultMaxStale,
+	// negative disables staleness (a bump invalidates immediately, the
+	// pre-SWR behavior).
+	MaxStale time.Duration
+	// QuotaRPS, when positive, enables per-client quotas: each client (keyed
+	// by X-Api-Key, else remote host) gets a token bucket refilling at this
+	// rate. Throttled requests get 429 + Retry-After without touching the
+	// admission queue.
+	QuotaRPS float64
+	// QuotaBurst is the per-client bucket capacity (0 = 2×QuotaRPS, min 8).
+	QuotaBurst int
+	// QuotaConcurrency caps one client's in-flight requests (0 = unlimited).
+	// Only effective when QuotaRPS enables quotas.
+	QuotaConcurrency int
+	// Brownout enables the load-shed ladder (see brownout.go): under
+	// sustained overload the server forces degraded computes, then stops
+	// revalidating stale entries, then sheds uncached lookups — and walks
+	// back down with hysteresis. Also enables the retry budget that bounds
+	// degraded retries to a fraction of traffic.
+	Brownout bool
+	// AllowBump, when the backend supports Mutator, mounts POST /debug/bump:
+	// a synthetic version bump for overload drills (loadgen's
+	// insert-while-serving mode). Off by default — it mutates server state.
+	AllowBump bool
 }
 
 // IncidentBody is the JSON rendering of a per-name incident. Elapsed is
@@ -137,6 +169,7 @@ type nameEnvelope struct {
 	*NameResult
 	Cached    bool    `json:"cached"`
 	Coalesced bool    `json:"coalesced"`
+	Stale     bool    `json:"stale,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
@@ -152,6 +185,7 @@ type batchItem struct {
 	Name      string `json:"name"`
 	Cached    bool   `json:"cached,omitempty"`
 	Coalesced bool   `json:"coalesced,omitempty"`
+	Stale     bool   `json:"stale,omitempty"`
 	Error     string `json:"error,omitempty"`
 	Status    int    `json:"status,omitempty"`
 }
@@ -163,14 +197,21 @@ type batchResponse struct {
 	ElapsedMS float64     `json:"elapsed_ms"`
 }
 
-// errorBody is the error envelope every non-2xx response carries.
+// errorBody is the error envelope every non-2xx response carries. Stale
+// marks a 404 served from a stale negative-cache entry (the name may exist
+// at the current version; revalidation is in flight).
 type errorBody struct {
 	Error  string `json:"error"`
 	Status int    `json:"status"`
+	Stale  bool   `json:"stale,omitempty"`
 }
 
 // errNotFound maps to 404: the name has no references.
 var errNotFound = errors.New("serve: unknown name")
+
+// errShedding maps to 503: the brownout ladder's deepest rung is refusing
+// uncached lookups.
+var errShedding = errors.New("serve: shedding load")
 
 // Server is the serving front end. Create with New, mount Handler on
 // obs.ServeHandler (or any http.Server), Drain before exit.
@@ -189,6 +230,14 @@ type Server struct {
 	maxBody     int64
 	retryAfter  time.Duration
 	batchFanout int
+	maxStale    time.Duration // 0 = staleness disabled
+
+	// Overload resilience (DESIGN.md §15): per-client quotas, brownout
+	// ladder, retry budget. All nil when not enabled.
+	quotas  *quotaSet
+	brown   *brownout
+	retries *retryBudget
+	fault   *fault.Registry // for injection points outside the compute ctx
 
 	// Request observability (DESIGN.md §14). instrumented gates the full
 	// middleware path; with everything off, api() adds nothing to a request.
@@ -224,6 +273,13 @@ type Server struct {
 	cErrors      *obs.Counter
 	cNotFound    *obs.Counter
 
+	cStaleHits      *obs.Counter
+	cStaleNeg       *obs.Counter
+	cRevalidations  *obs.Counter
+	cShed           *obs.Counter
+	cBrownoutForced *obs.Counter
+	cRetrySkipped   *obs.Counter
+
 	baseCancel context.CancelFunc
 
 	drainMu  sync.Mutex
@@ -253,8 +309,24 @@ func New(opts Options) (*Server, error) {
 		maxBody:     opts.MaxBodyBytes,
 		retryAfter:  opts.RetryAfter,
 		batchFanout: opts.BatchFanout,
+		fault:       opts.Fault,
 	}
 	s.traced, _ = opts.Backend.(TracedBackend)
+	switch {
+	case opts.MaxStale < 0:
+		// staleness disabled: a version bump invalidates immediately
+	case opts.MaxStale == 0:
+		s.maxStale = DefaultMaxStale
+	default:
+		s.maxStale = opts.MaxStale
+	}
+	if opts.QuotaRPS > 0 {
+		s.quotas = newQuotaSet(opts.QuotaRPS, opts.QuotaBurst, opts.QuotaConcurrency, opts.Obs)
+	}
+	if opts.Brownout {
+		s.brown = newBrownout(opts.Obs, time.Now())
+		s.retries = newRetryBudget(DefaultRetryBudgetMax, DefaultRetryBudgetRatio)
+	}
 	if s.nameTimeout <= 0 {
 		s.nameTimeout = defaultNameTimeout
 	}
@@ -324,7 +396,9 @@ func New(opts Options) (*Server, error) {
 	s.rtName = newRoute(opts.Obs, "name")
 	s.rtBatch = newRoute(opts.Obs, "batch")
 	s.rtNames = newRoute(opts.Obs, "names")
-	s.instrumented = s.flightRec != nil || s.access != nil || s.reg != nil
+	// Brownout forces the instrumented path: the ladder is driven from the
+	// request tail (SLO observation + periodic evaluation).
+	s.instrumented = s.flightRec != nil || s.access != nil || s.reg != nil || s.brown != nil
 
 	reg := opts.Obs
 	s.cRequests = reg.Counter("serve.requests")
@@ -345,6 +419,12 @@ func New(opts Options) (*Server, error) {
 	s.cRejected503 = reg.Counter("serve.rejected_503")
 	s.cErrors = reg.Counter("serve.errors")
 	s.cNotFound = reg.Counter("serve.not_found")
+	s.cStaleHits = reg.Counter("serve.stale_hits")
+	s.cStaleNeg = reg.Counter("serve.stale_neg_hits")
+	s.cRevalidations = reg.Counter("serve.revalidations")
+	s.cShed = reg.Counter("serve.brownout_shed")
+	s.cBrownoutForced = reg.Counter("serve.brownout_forced_degraded")
+	s.cRetrySkipped = reg.Counter("serve.retries_skipped")
 
 	// Flights compute under the server's base context — not any request's —
 	// so a cancelled leader hands off to its waiters. The fault registry
@@ -369,6 +449,16 @@ func New(opts Options) (*Server, error) {
 	// lanes on a nil recorder, so the mount is unconditional.
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.Handle("GET /debug/requests", s.flightRec.Handler())
+	mux.HandleFunc("GET /debug/quotas", s.handleQuotas)
+	// /debug/bump is a mutation, so it is opt-in (drills and chaos tests) and
+	// requires a backend that can actually bump.
+	if m, ok := opts.Backend.(Mutator); ok && opts.AllowBump {
+		mux.HandleFunc("POST /debug/bump", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, struct {
+				Version int64 `json:"version"`
+			}{Version: m.Bump()})
+		})
+	}
 	mux.Handle("/debug/", s.reg.Handler())
 	s.handler = mux
 	return s, nil
@@ -432,6 +522,13 @@ func (s *Server) api(rt *route, h func(http.ResponseWriter, *http.Request, *reqI
 		}
 		defer s.inflight.Done()
 		if !s.instrumented {
+			if s.quotas != nil {
+				release, ok := s.quotaAdmit(w, r, nil, time.Now())
+				if !ok {
+					return
+				}
+				defer release()
+			}
 			h(w, r, nil)
 			return
 		}
@@ -474,7 +571,14 @@ func (s *Server) api(rt *route, h func(http.ResponseWriter, *http.Request, *reqI
 		sw := &ri.sw
 		sw.ResponseWriter = w
 
-		h(sw, r, ri)
+		// Per-client quota gate, inside the middleware so a throttled request
+		// still gets a flight record, RED metrics, and an SLO observation.
+		if s.quotas == nil {
+			h(sw, r, ri)
+		} else if release, ok := s.quotaAdmit(sw, r, ri, t0); ok {
+			h(sw, r, ri)
+			release()
+		}
 
 		lat := time.Since(t0)
 		status := sw.status
@@ -487,6 +591,16 @@ func (s *Server) api(rt *route, h func(http.ResponseWriter, *http.Request, *reqI
 			rt.errors.Inc()
 		}
 		s.slo.observe(status, t0)
+		// Feed the brownout ladder from the request tail, rate-limited by
+		// due() so concurrent tails don't pile onto the evaluation.
+		now := t0.Add(lat)
+		if s.brown != nil && s.brown.due(now) {
+			s.brown.observe(s.adm.queueFrac(), s.slo.burnRate(now), now)
+		}
+		var bstate string
+		if lvl := s.brown.current(); lvl > brownoutNormal {
+			bstate = lvl.String()
+		}
 
 		rec := flightrec.Record{
 			ID:        id,
@@ -500,6 +614,9 @@ func (s *Server) api(rt *route, h func(http.ResponseWriter, *http.Request, *reqI
 			Coalesced: ri.coalesced,
 			Degraded:  ri.degraded,
 			NegCached: ri.negCached,
+			Stale:     ri.stale,
+			Client:    ri.client,
+			Brownout:  bstate,
 			Incident:  ri.incident,
 			Error:     ri.errMsg,
 		}
@@ -513,11 +630,56 @@ func (s *Server) api(rt *route, h func(http.ResponseWriter, *http.Request, *reqI
 	}
 }
 
+// quotaAdmit charges the request to its client's quota (now is the
+// middleware's request start — one clock read serves both). On throttle it
+// writes the 429 itself — Retry-After from the bucket's refill deficit when
+// that is longer than the server's flat hint — and returns ok = false. On
+// admission the returned release must be called when the request finishes.
+func (s *Server) quotaAdmit(w http.ResponseWriter, r *http.Request, ri *reqInfo, now time.Time) (release func(), ok bool) {
+	id := clientID(r)
+	if ri != nil {
+		ri.client = id
+	}
+	release, wait, ok := s.quotas.acquire(id, now)
+	// Injected quota failure ("serve.quota"): force the throttle path in
+	// chaos tests without crafting real bucket exhaustion.
+	if ok && s.fault != nil {
+		if ferr := s.fault.Fire(r.Context(), "serve.quota"); ferr != nil {
+			release()
+			release, wait, ok = nil, 0, false
+		}
+	}
+	if ok {
+		return release, true
+	}
+	ra := s.retryAfter
+	if wait > ra {
+		ra = wait
+	}
+	w.Header().Set("Retry-After", retryAfterValue(ra))
+	s.cRejected429.Inc()
+	if ri != nil {
+		ri.noteError("", "client quota exceeded", lookupMeta{})
+	}
+	writeJSON(w, http.StatusTooManyRequests,
+		errorBody{Error: "client quota exceeded", Status: http.StatusTooManyRequests})
+	return nil, false
+}
+
+// handleQuotas serves the per-client quota table (outside the drain gate,
+// like the other /debug endpoints).
+func (s *Server) handleQuotas(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.quotas.status(time.Now()))
+}
+
 // lookupMeta is request-scoped serving metadata for one lookup.
 type lookupMeta struct {
 	cached    bool
 	coalesced bool
 	negCached bool
+	// stale marks a result (or negative 404) served from a previous database
+	// version inside the stale-while-revalidate window.
+	stale bool
 }
 
 // lookup resolves one name: version read, negative-cache probe, cache probe,
@@ -526,11 +688,30 @@ type lookupMeta struct {
 // probe would hand back a result computed against the old contents labeled
 // with the new version. reldb.Insert upholds the matching edge on its side
 // (invalidate before bump; see version_order_test.go).
+//
+// Stale-while-revalidate: when a version bump has outdated a cache entry
+// (positive or negative) but the entry is inside the staleness window, it
+// is served immediately — marked stale — and a single background flight
+// recomputes at the new version. A bump therefore costs no latency cliff:
+// hot names keep answering from cache while revalidation fills in behind.
 func (s *Server) lookup(ctx context.Context, name string) (*NameResult, lookupMeta, error) {
 	version := s.backend.Version()
-	if s.neg.get(name, version) {
+	if hit, stale := s.neg.get(name, version, s.maxStale); hit {
+		if stale {
+			s.cStaleNeg.Inc()
+			s.revalidate(name, version)
+			return nil, lookupMeta{negCached: true, stale: true}, errNotFound
+		}
 		s.cNegHits.Inc()
 		return nil, lookupMeta{negCached: true}, errNotFound
+	}
+	if res, state := s.cache.get(name, version, s.maxStale); state == cacheFresh {
+		s.cCacheHits.Inc()
+		return res, lookupMeta{cached: true}, nil
+	} else if state == cacheStale {
+		s.cStaleHits.Inc()
+		s.revalidate(name, version)
+		return res, lookupMeta{cached: true, stale: true}, nil
 	}
 	if s.backend.NumRefs(name) == 0 {
 		// A negcache miss is counted only on this slow 404 path, so
@@ -541,11 +722,13 @@ func (s *Server) lookup(ctx context.Context, name string) (*NameResult, lookupMe
 		}
 		return nil, lookupMeta{}, errNotFound
 	}
-	if res := s.cache.get(name, version); res != nil {
-		s.cCacheHits.Inc()
-		return res, lookupMeta{cached: true}, nil
-	}
 	s.cCacheMisses.Inc()
+	// The ladder's deepest rung: nothing cached to fall back on and the
+	// server is shedding — refuse before burning a queue slot.
+	if s.brown.current() >= brownoutShed {
+		s.cShed.Inc()
+		return nil, lookupMeta{}, errShedding
+	}
 	res, coalesced, err := s.flights.do(ctx, flightKey{name: name, version: version},
 		func(fctx context.Context) (*NameResult, error) {
 			return s.compute(fctx, name, version)
@@ -554,6 +737,49 @@ func (s *Server) lookup(ctx context.Context, name string) (*NameResult, lookupMe
 		s.cCoalesced.Inc()
 	}
 	return res, lookupMeta{coalesced: coalesced}, err
+}
+
+// revalidate starts the background recompute behind a stale answer, unless
+// the ladder says stale results should stand (brownoutStale and deeper —
+// revalidation is exactly the compute load the ladder is trying to shed).
+// The flight group guarantees at most one recompute per (name, version):
+// every stale hit calls this, only the first launches.
+func (s *Server) revalidate(name string, version int64) {
+	if s.brown.current() >= brownoutStale {
+		return
+	}
+	launched := s.flights.launch(flightKey{name: name, version: version},
+		func(fctx context.Context) (*NameResult, error) {
+			if ferr := fault.Point(fctx, "serve.revalidate"); ferr != nil {
+				return nil, ferr
+			}
+			if s.backend.NumRefs(name) == 0 {
+				// The name vanished (or never existed at this version): refresh
+				// the negative fact so the next probe 404s fresh.
+				if evicted := s.neg.put(name, version); evicted > 0 {
+					s.cNegEvict.Add(evicted)
+				}
+				return nil, errNotFound
+			}
+			return s.compute(fctx, name, version)
+		})
+	if launched {
+		s.cRevalidations.Inc()
+	}
+}
+
+// allowRetry is the server's core.BatchOptions.RetryGate: degraded retries
+// are skipped when the ladder already forces degraded computes (the retry
+// would be a no-op), when the error budget is burning past
+// DefaultRetryBurnMax, or when the retry budget is spent.
+func (s *Server) allowRetry() bool {
+	if s.brown.current() >= brownoutDegraded ||
+		s.slo.burnRate(time.Now()) >= DefaultRetryBurnMax ||
+		!s.retries.take() {
+		s.cRetrySkipped.Inc()
+		return false
+	}
+	return true
 }
 
 // compute runs one name's disambiguation: admission slot, fault point,
@@ -614,6 +840,18 @@ func (s *Server) compute(fctx context.Context, name string, version int64) (res 
 		NameTimeout:   s.nameTimeout,
 		DegradedPaths: s.degraded,
 	}
+	// Brownout: at brownoutDegraded and deeper every compute starts on the
+	// degraded path — the quality cut is taken up front instead of after a
+	// blown budget. The retry budget gates the ladder's degraded retry so
+	// retries stay a bounded fraction of traffic under load.
+	if s.brown.current() >= brownoutDegraded {
+		opts.ForceDegraded = true
+		s.cBrownoutForced.Inc()
+	}
+	if s.retries != nil {
+		s.retries.onAttempt()
+		opts.RetryGate = s.allowRetry
+	}
 	var groups [][]string
 	var inc *core.Incident
 	if s.traced != nil && nsp != nil {
@@ -644,8 +882,14 @@ func (s *Server) compute(fctx context.Context, name string, version int64) (res 
 	// Only clean results are cached, and only when the database did not
 	// move under the computation: a result computed while an Insert landed
 	// may mix old and new contents, and storing it under the pre-compute
-	// version would serve it as that version's truth. The cache gets a
-	// trace-free copy: a cached result outlives this request.
+	// version would serve it as that version's truth. This matters doubly
+	// for stale-while-revalidate: a revalidation flight keyed at V2 can be
+	// overtaken by a bump to V3 mid-compute (three versions in play — the
+	// stale V1 entry, this flight's V2, the live V3); the re-read below
+	// observes V3 != V2 and refuses the store, leaving the V1 entry to keep
+	// serving stale until a revalidation keyed at V3 lands a result that is
+	// actually V3's truth. The cache gets a trace-free copy: a cached result
+	// outlives this request.
 	if inc == nil && s.backend.Version() == version {
 		stored := res
 		if tr != nil {
@@ -656,6 +900,10 @@ func (s *Server) compute(fctx context.Context, name string, version int64) (res 
 		if evicted := s.cache.put(name, version, stored); evicted > 0 {
 			s.cCacheEvict.Add(evicted)
 		}
+		// A published positive result supersedes any negative fact for the
+		// name (a stale negative would otherwise outrank the fresh entry in
+		// lookup's probe order).
+		s.neg.drop(name)
 	}
 	return res, nil
 }
@@ -683,6 +931,8 @@ func (s *Server) errStatus(err error) (int, string) {
 		return http.StatusTooManyRequests, "compute queue full"
 	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, errShedding):
+		return http.StatusServiceUnavailable, "overloaded, shedding load"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The requester went away (or its deadline fired) mid-flight; 499 in
 		// the nginx convention. The response likely reaches nobody.
@@ -703,6 +953,13 @@ func (s *Server) handleName(w http.ResponseWriter, r *http.Request, ri *reqInfo)
 	if err != nil {
 		status, msg := s.errStatus(err)
 		ri.noteError(name, msg, meta)
+		if meta.stale && status == http.StatusNotFound {
+			// A stale negative: the 404 carries stale so the client knows the
+			// fact is from a previous version and a re-check is in flight.
+			s.cNotFound.Inc()
+			writeJSON(w, status, errorBody{Error: msg, Status: status, Stale: true})
+			return
+		}
 		s.writeError(w, status, msg)
 		return
 	}
@@ -711,6 +968,7 @@ func (s *Server) handleName(w http.ResponseWriter, r *http.Request, ri *reqInfo)
 		NameResult: res,
 		Cached:     meta.cached,
 		Coalesced:  meta.coalesced,
+		Stale:      meta.stale,
 		ElapsedMS:  float64(time.Since(t0).Microseconds()) / 1000,
 	})
 }
@@ -798,12 +1056,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ri *reqInfo
 		o := outs[idx[name]]
 		if o.err != nil {
 			status, msg := s.errStatus(o.err)
-			resp.Results = append(resp.Results, batchItem{Name: name, Error: msg, Status: status})
+			resp.Results = append(resp.Results, batchItem{
+				Name: name, Error: msg, Status: status, Stale: o.meta.stale,
+			})
 			continue
 		}
 		ri.noteFlags(o.meta, o.res)
 		resp.Results = append(resp.Results, batchItem{
-			NameResult: o.res, Name: o.res.Name, Cached: o.meta.cached, Coalesced: o.meta.coalesced,
+			NameResult: o.res, Name: o.res.Name, Cached: o.meta.cached,
+			Coalesced: o.meta.coalesced, Stale: o.meta.stale,
 		})
 	}
 	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
@@ -852,10 +1113,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", retryAfterValue(s.retryAfter))
 		}
 		writeJSON(w, status, struct {
-			Status   string    `json:"status"`
-			Draining bool      `json:"draining"`
-			SLO      sloStatus `json:"slo"`
-		}{Status: text, Draining: draining, SLO: s.slo.status(time.Now())})
+			Status   string         `json:"status"`
+			Draining bool           `json:"draining"`
+			SLO      sloStatus      `json:"slo"`
+			Brownout brownoutStatus `json:"brownout"`
+		}{
+			Status: text, Draining: draining,
+			SLO:      s.slo.status(time.Now()),
+			Brownout: s.brown.status(time.Now()),
+		})
 		return
 	}
 	if draining {

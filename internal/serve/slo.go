@@ -97,6 +97,17 @@ func (t *sloTracker) burnLocked(nowSec int64) float64 {
 	return errRate / (1 - t.target)
 }
 
+// burnRate returns the rolling burn rate at now — the brownout ladder's
+// second signal. Nil-safe (0: no traffic, no burn).
+func (t *sloTracker) burnRate(now time.Time) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.burnLocked(now.Unix())
+}
+
 // sloStatus is the /healthz?verbose=1 rendering of the window.
 type sloStatus struct {
 	Target        float64 `json:"target"`

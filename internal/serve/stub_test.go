@@ -35,7 +35,7 @@ func newStubBackend(names ...string) *stubBackend {
 	return &stubBackend{refs: refs}
 }
 
-func (b *stubBackend) Disambiguate(ctx context.Context, name string, _ core.BatchOptions) ([][]string, *core.Incident, error) {
+func (b *stubBackend) Disambiguate(ctx context.Context, name string, opts core.BatchOptions) ([][]string, *core.Incident, error) {
 	b.calls.Add(1)
 	if b.started != nil {
 		b.started <- name
@@ -49,6 +49,13 @@ func (b *stubBackend) Disambiguate(ctx context.Context, name string, _ core.Batc
 	}
 	if b.onCompute != nil {
 		return b.onCompute(ctx, name)
+	}
+	if opts.ForceDegraded {
+		// Mirror the real ladder's brownout shape: one coarse group plus a
+		// degraded incident, so server-level brownout tests can assert on the
+		// envelope without a trained engine.
+		return [][]string{{name + "-a1", name + "-a2", name + "-b1"}},
+			&core.Incident{Name: name, Stage: "brownout", Reason: core.IncidentDegraded}, nil
 	}
 	return [][]string{{name + "-a1", name + "-a2"}, {name + "-b1"}}, nil, nil
 }
@@ -67,6 +74,9 @@ func (b *stubBackend) Names(minRefs int) []string {
 
 func (b *stubBackend) Version() int64 { return b.version.Load() }
 
+// Bump implements Mutator for /debug/bump tests.
+func (b *stubBackend) Bump() int64 { return b.version.Add(1) }
+
 // newTestServer builds a server over backend with metrics on and small,
 // test-friendly bounds. Extra options are layered via mod.
 func newTestServer(t *testing.T, backend Backend, mod func(*Options)) *Server {
@@ -76,6 +86,10 @@ func newTestServer(t *testing.T, backend Backend, mod func(*Options)) *Server {
 		Obs:         obs.NewRegistry(),
 		Concurrency: 4,
 		NameTimeout: 5 * time.Second,
+		// Staleness off by default: most tests pin the strict version-keyed
+		// semantics (a bump invalidates immediately). Stale-while-revalidate
+		// tests opt back in via mod.
+		MaxStale: -1,
 	}
 	if mod != nil {
 		mod(&opts)
