@@ -8,6 +8,7 @@
 package distinct_test
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -243,6 +244,38 @@ func BenchmarkClustering(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cluster.Agglomerate(len(refs), m, cluster.Options{
+			Measure: cluster.Combined, MinSim: core.DefaultMinSim,
+		})
+	}
+}
+
+// BenchmarkClusteringLarge is BenchmarkClustering at ~4x block size: a
+// deterministic synthetic 572-reference block with planted groups (within-
+// group similarities well above DefaultMinSim, cross-group well below),
+// approximating the merge/prune mix of a large natural name. It sizes the
+// flat-state engine's linear alive scans, row arena growth, and heap
+// compaction at a scale the generated worlds don't reach.
+func BenchmarkClusteringLarge(b *testing.B) {
+	const n, groups = 572, 8
+	rng := rand.New(rand.NewSource(7))
+	m := cluster.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var r float64
+			if i%groups == j%groups {
+				r = 0.05 + 0.4*rng.Float64()
+			} else {
+				r = 0.002 * rng.Float64()
+			}
+			m.R[i][j], m.R[j][i] = r, r
+			m.W[i][j] = r * (0.5 + rng.Float64())
+			m.W[j][i] = r * (0.5 + rng.Float64())
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cluster.Agglomerate(n, m, cluster.Options{
 			Measure: cluster.Combined, MinSim: core.DefaultMinSim,
 		})
 	}

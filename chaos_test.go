@@ -173,6 +173,9 @@ func TestChaosCancelEveryStage(t *testing.T) {
 		{"core.similarities", "similarities", phaseBatch},
 		{"core.similarities.row", "similarities", phaseBatch},
 		{"core.cluster", "cluster", phaseBatch},
+		// Inside the agglomeration merge loop (between merges), not just at
+		// the cluster stage boundary.
+		{"cluster.merge", "cluster", phaseBatch},
 	}
 	for _, tc := range cases {
 		t.Run(tc.point, func(t *testing.T) {
@@ -280,6 +283,53 @@ func TestChaosPanicIsolation(t *testing.T) {
 	tr.Finish()
 	if n := incidentEvents(tr.Tree(), "panic"); n != 1 {
 		t.Errorf("panic incident trace events = %d, want 1", n)
+	}
+}
+
+// TestChaosMergeLoopFault fails one name from inside the agglomeration
+// merge loop (the cluster.merge fault point, mid-run rather than at the
+// stage boundary) and asserts the batch isolates it as a single
+// cluster-stage error incident — and that the very next clean run over the
+// same engine is bit-identical to a never-faulted run, i.e. the aborted
+// agglomeration leaked no scratch state into the pool.
+func TestChaosMergeLoopFault(t *testing.T) {
+	eng, reg, _ := newInstrumentedEngine(t)
+	full, err := eng.DisambiguateAll(chaosMinRefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := fault.NewRegistry(*chaosSeed)
+	f.Set("cluster.merge", fault.Rule{OnHit: 2, Err: fault.ErrInjected})
+	res, err := eng.DisambiguateAllCtx(fault.With(context.Background(), f),
+		distinct.BatchOptions{MinRefs: chaosMinRefs})
+	if err != nil {
+		t.Fatalf("batch must complete despite the merge-loop fault, got: %v", err)
+	}
+	if len(res.Incidents) != 1 {
+		t.Fatalf("incidents = %+v, want exactly one", res.Incidents)
+	}
+	inc := res.Incidents[0]
+	if inc.Reason != distinct.IncidentError {
+		t.Errorf("incident reason = %q, want %q", inc.Reason, distinct.IncidentError)
+	}
+	if inc.Stage != "cluster" {
+		t.Errorf("incident stage = %q, want cluster", inc.Stage)
+	}
+	if !strings.Contains(inc.Err, "cluster.merge") {
+		t.Errorf("incident error %q does not name the cluster.merge point", inc.Err)
+	}
+	c := reg.Snapshot().Counters
+	if c["batch.incident_error"] != 1 {
+		t.Errorf("batch.incident_error = %d, want 1", c["batch.incident_error"])
+	}
+
+	clean, err := eng.DisambiguateAll(chaosMinRefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.NamesExamined != full.NamesExamined || !reflect.DeepEqual(clean.Split, full.Split) {
+		t.Error("clean run after the merge-loop fault differs from the never-faulted run")
 	}
 }
 

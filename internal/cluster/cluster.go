@@ -20,14 +20,23 @@
 // are aggregable: merging clusters C1 and C2 derives every (C3, Ci) entry
 // from the (C1, Ci) and (C2, Ci) entries in O(1), the incremental
 // computation of Section 4.2.
+//
+// The engine keeps all pair statistics in flat storage (see Scratch): the
+// initial pairs in an arithmetically indexed triangle, post-merge stats in
+// per-cluster rows, cluster membership in union-find parent links. Cluster
+// ids are dense and never reused — originals are 0..n-1 and the i-th merge
+// creates id n+i — so every lookup is array indexing and a warm run's merge
+// loop performs no allocation. AgglomerateMapTrace preserves the previous
+// map-based implementation as the bit-exactness reference.
 package cluster
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 
+	"distinct/internal/fault"
 	"distinct/internal/obs"
 	"distinct/internal/obs/trace"
 )
@@ -92,10 +101,11 @@ type Options struct {
 	// below it. The paper runs DISTINCT with min-sim 0.0005.
 	MinSim float64
 	// Obs, when non-nil, receives the run's counters: cluster.runs,
-	// cluster.merges, and cluster.pruned_below_minsim (candidate pairs the
-	// stop threshold kept out of the merge heap). Counts accumulate
-	// locally and post once per run, so instrumentation stays off the
-	// merge loop's hot path.
+	// cluster.merges, cluster.pruned_below_minsim (candidate pairs the
+	// stop threshold kept out of the merge heap), and
+	// cluster.heap_stale_pops (heap entries popped after one of their
+	// clusters was merged away). Counts accumulate locally and post once
+	// per run, so instrumentation stays off the merge loop's hot path.
 	Obs *obs.Registry
 	// Span, when non-nil, receives decision-level provenance: one "merge"
 	// event per agglomeration step (cluster ids, sizes, and the composite
@@ -104,6 +114,10 @@ type Options struct {
 	// the last accepted similarity, the best similarity the threshold
 	// rejected, and the gap ratio between the two.
 	Span *trace.Span
+	// Scratch, when non-nil, supplies the run's working buffers so a sweep
+	// can reuse them explicitly (one Scratch per goroutine). When nil, a
+	// pooled Scratch is used and returned to the pool on success.
+	Scratch *Scratch
 }
 
 // pairStats aggregates the base similarities between two clusters. All
@@ -125,22 +139,19 @@ func (p pairStats) merge(q pairStats) pairStats {
 	}
 }
 
-type clusterState struct {
-	members []int
-	alive   bool
-}
-
 type candidate struct {
 	sim  float64
-	a, b int // cluster ids, a < b
+	a, b int32 // cluster ids, a < b
 }
 
 // candidateHeap is a max-heap of merge candidates under (sim desc, a asc,
 // b asc) — a total order, so the pop sequence is a pure function of the
-// contents and any correct heap yields the same merge order. Hand-rolled
-// instead of container/heap so push/pop stay monomorphic: no interface
-// boxing (one small allocation per push) and no indirect Less/Swap calls
-// inside the merge loop.
+// contents and any correct heap yields the same merge order. That also
+// means removing stale entries (both already popped-and-skipped and
+// compacted-away ones) can never change the order the live candidates pop
+// in. Hand-rolled instead of container/heap so push/pop stay monomorphic:
+// no interface boxing (one small allocation per push) and no indirect
+// Less/Swap calls inside the merge loop.
 type candidateHeap []candidate
 
 func (h candidateHeap) less(i, j int) bool {
@@ -201,6 +212,10 @@ func (h *candidateHeap) pop() candidate {
 	return top
 }
 
+// compactMinHeap gates stale-entry compaction: below this size the wasted
+// sift work is cheaper than rebuilding, so small blocks never compact.
+const compactMinHeap = 1024
+
 // Merge records one agglomeration step: the members of the two clusters
 // merged and the similarity at which it happened. Merges arrive in
 // descending similarity order, so the trace is the dendrogram profile —
@@ -213,6 +228,8 @@ type Merge struct {
 // Agglomerate clusters n references under the options and returns the
 // resulting partition as lists of reference indexes. Clusters are sorted by
 // their smallest member and members ascending, so output is deterministic.
+// The member slices share one backing array; append to a cluster only via
+// the usual copy-on-grow semantics (they are carved at full capacity).
 func Agglomerate(n int, ps PairSim, opts Options) [][]int {
 	out, _ := AgglomerateTrace(n, ps, opts, false)
 	return out
@@ -220,7 +237,8 @@ func Agglomerate(n int, ps PairSim, opts Options) [][]int {
 
 // AgglomerateCtx is Agglomerate under a context: cancellation is observed
 // between heap-build rows and between merge iterations, so a pathological
-// block aborts with latency bounded by one row / one merge step.
+// block aborts with latency bounded by one row / one merge step. The merge
+// loop also exposes the "cluster.merge" fault point for chaos testing.
 func AgglomerateCtx(ctx context.Context, n int, ps PairSim, opts Options) ([][]int, error) {
 	out, _, err := AgglomerateTraceCtx(ctx, n, ps, opts, false)
 	return out, err
@@ -237,10 +255,33 @@ func AgglomerateTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int,
 // AgglomerateTraceCtx is AgglomerateTrace under a context (see
 // AgglomerateCtx for where cancellation is observed).
 func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, withTrace bool) ([][]int, []Merge, error) {
+	return agglomerate(ctx, n, ps, opts, withTrace, nil)
+}
+
+// agglomerate is the shared engine behind the public entry points. When rec
+// is non-nil it runs in dendrogram mode: MinSim is treated as 0, every
+// merge is recorded into rec, and no partition is materialised.
+//
+// On error the scratch is NOT returned to the pool: a caller observing the
+// error may be racing a hook that still holds the buffers, and a dropped
+// scratch is cheaper than a torn one.
+func agglomerate(ctx context.Context, n int, ps PairSim, opts Options, withTrace bool, rec *Dendrogram) ([][]int, []Merge, error) {
 	if n <= 0 {
 		return nil, nil, nil
 	}
-	var merges, pruned int64 // posted to opts.Obs once per run
+	minSim := opts.MinSim
+	if rec != nil {
+		minSim = 0
+	}
+	s := opts.Scratch
+	fromPool := false
+	if s == nil {
+		s = scratchPool.Get().(*Scratch)
+		fromPool = true
+	}
+	s.reset(n)
+
+	var merges, pruned, stalePops int64 // posted to opts.Obs once per run
 	var mergeLog []Merge
 	// Stop statistics for the final "cut" event: the similarity of the last
 	// accepted merge and the best similarity MinSim rejected. Their ratio is
@@ -248,12 +289,9 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 	// a crisp same-object/different-object boundary.
 	var lastMergeSim, bestRejected float64
 	span := opts.Span
-	clusters := make([]clusterState, n, 2*n)
-	for i := range clusters {
-		clusters[i] = clusterState{members: []int{i}, alive: true}
-	}
-	stats := make(map[uint64]pairStats, n*(n-1)/2)
-	h := make(candidateHeap, 0, n*(n-1)/2)
+
+	// Seed the triangle and the heap with all original pairs.
+	k := 0
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -264,26 +302,48 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 				sumResem: r, minResem: r, maxResem: r,
 				walkAB: ps.Walk(i, j), walkBA: ps.Walk(j, i),
 			}
-			stats[pairKey(i, j)] = st
-			if s := similarity(st, 1, 1, opts.Measure); s >= opts.MinSim {
-				h = append(h, candidate{sim: s, a: i, b: j})
+			s.tri[k] = st
+			k++
+			if sim := similarity(st, 1, 1, opts.Measure); sim >= minSim {
+				s.heap = append(s.heap, candidate{sim: sim, a: int32(i), b: int32(j)})
+				s.nref[i]++
+				s.nref[j]++
 			} else {
 				pruned++
-				if s > bestRejected {
-					bestRejected = s
+				if sim > bestRejected {
+					bestRejected = sim
 				}
 			}
 		}
 	}
-	h.init()
+	s.heap.init()
 
-	for len(h) > 0 {
+	// staleApprox tracks (an upper bound on) the stale entries still in the
+	// heap: a merge strands every entry referencing the two dead clusters,
+	// a stale pop drains one. It can overcount pairs whose endpoints both
+	// died — that only triggers compaction a little early.
+	staleApprox := int64(0)
+	freg := fault.From(ctx)
+	nid := int32(n)
+	for len(s.heap) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		c := h.pop()
-		if !clusters[c.a].alive || !clusters[c.b].alive {
-			continue // stale entry for a merged-away cluster
+		if freg != nil {
+			if err := freg.Fire(ctx, "cluster.merge"); err != nil {
+				return nil, nil, err
+			}
+		}
+		c := s.heap.pop()
+		s.nref[c.a]--
+		s.nref[c.b]--
+		if !s.isAlive(c.a) || !s.isAlive(c.b) {
+			// Stale entry for a merged-away cluster.
+			stalePops++
+			if staleApprox > 0 {
+				staleApprox--
+			}
+			continue
 		}
 		// Cluster ids are never reused and a pair's stats never change while
 		// both clusters are alive, so the popped similarity is current.
@@ -292,60 +352,109 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 		if span != nil {
 			span.Event("merge",
 				trace.Int("a", int64(c.a)), trace.Int("b", int64(c.b)),
-				trace.Int("new", int64(len(clusters))),
+				trace.Int("new", int64(nid)),
 				trace.Float("sim", c.sim),
-				trace.Int("size_a", int64(len(clusters[c.a].members))),
-				trace.Int("size_b", int64(len(clusters[c.b].members))))
+				trace.Int("size_a", int64(s.size[c.a])),
+				trace.Int("size_b", int64(s.size[c.b])))
 		}
-		clusters[c.a].alive = false
-		clusters[c.b].alive = false
-		nid := len(clusters)
-		merged := append(append([]int(nil), clusters[c.a].members...), clusters[c.b].members...)
-		clusters = append(clusters, clusterState{members: merged, alive: true})
+		if rec != nil {
+			rec.Merges = append(rec.Merges, DendroMerge{
+				A: c.a, B: c.b, Sim: c.sim,
+				SizeA: s.size[c.a], SizeB: s.size[c.b],
+			})
+		}
 		if withTrace {
 			mergeLog = append(mergeLog, Merge{
-				A:   append([]int(nil), clusters[c.a].members...),
-				B:   append([]int(nil), clusters[c.b].members...),
+				A:   s.membersOf(n, c.a),
+				B:   s.membersOf(n, c.b),
 				Sim: c.sim,
 			})
 		}
+		s.kill(c.a)
+		s.kill(c.b)
+		staleApprox += int64(s.nref[c.a] + s.nref[c.b])
+		mi := int(nid) - n
+		s.size[nid] = s.size[c.a] + s.size[c.b]
+		s.parent[c.a] = nid
+		s.parent[c.b] = nid
+		s.parent[nid] = -1
+		s.left[mi] = c.a
+		s.right[mi] = c.b
+		s.nref[nid] = 0
 
-		for oid := range clusters[:nid] {
-			if !clusters[oid].alive {
-				continue
-			}
-			sa := takeStats(stats, oid, c.a)
-			sb := takeStats(stats, oid, c.b)
-			ns := mergeOriented(sa, sb, oid, c.a, c.b)
-			stats[pairKey(oid, nid)] = ns
-			s := similarity(ns, len(clusters[oid].members), len(merged), opts.Measure)
-			if s >= opts.MinSim {
-				h.push(candidate{sim: s, a: oid, b: nid})
-			} else {
-				pruned++
-				if s > bestRejected {
-					bestRejected = s
+		// Derive the merged cluster's stats against every live cluster by a
+		// linear scan over the alive bitmap (ids ascending — and because the
+		// heap order is total, push order cannot affect the merge order).
+		off := len(s.rows)
+		s.rowOff[mi] = off
+		if need := off + int(nid); cap(s.rows) >= need {
+			s.rows = s.rows[:need]
+		} else {
+			s.rows = append(s.rows, make([]pairStats, need-len(s.rows))...)
+		}
+		row := s.rows[off : off+int(nid)]
+		newSize := int(s.size[nid])
+		for w, word := range s.alive[:(int(nid)+63)/64] {
+			for word != 0 {
+				oid := int32(w<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				sa := s.statAt(n, oid, c.a)
+				sb := s.statAt(n, oid, c.b)
+				ns := mergeOriented(sa, sb, int(oid), int(c.a), int(c.b))
+				row[oid] = ns
+				if sim := similarity(ns, int(s.size[oid]), newSize, opts.Measure); sim >= minSim {
+					s.heap.push(candidate{sim: sim, a: oid, b: nid})
+					s.nref[oid]++
+					s.nref[nid]++
+				} else {
+					pruned++
+					if sim > bestRejected {
+						bestRejected = sim
+					}
 				}
 			}
 		}
-		delete(stats, pairKey(c.a, c.b))
+		s.setAlive(nid)
+		nid++
+
+		// Compact once stale entries outnumber live ones: drop every entry
+		// with a dead endpoint and re-heapify. Safe because the comparator
+		// is a total order (removals never reorder the survivors).
+		if staleApprox*2 > int64(len(s.heap)) && len(s.heap) >= compactMinHeap {
+			kept := s.heap[:0]
+			for _, cand := range s.heap {
+				if s.isAlive(cand.a) && s.isAlive(cand.b) {
+					kept = append(kept, cand)
+				}
+			}
+			s.heap = kept
+			s.heap.init()
+			for i := int32(0); i < nid; i++ {
+				s.nref[i] = 0
+			}
+			for _, cand := range s.heap {
+				s.nref[cand.a]++
+				s.nref[cand.b]++
+			}
+			staleApprox = 0
+		}
 	}
 
 	if opts.Obs != nil {
-		opts.Obs.Counter("cluster.runs").Inc()
+		if rec != nil {
+			opts.Obs.Counter("cluster.dendrogram_runs").Inc()
+		} else {
+			opts.Obs.Counter("cluster.runs").Inc()
+			opts.Obs.Counter("cluster.pruned_below_minsim").Add(pruned)
+		}
 		opts.Obs.Counter("cluster.merges").Add(merges)
-		opts.Obs.Counter("cluster.pruned_below_minsim").Add(pruned)
+		opts.Obs.Counter("cluster.heap_stale_pops").Add(stalePops)
 	}
 
 	var out [][]int
-	for _, c := range clusters {
-		if c.alive {
-			m := append([]int(nil), c.members...)
-			sort.Ints(m)
-			out = append(out, m)
-		}
+	if rec == nil {
+		out = s.partition(n, n-int(merges))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 
 	if span != nil {
 		// Gap ratio between the last accepted merge and the best rejected
@@ -358,32 +467,48 @@ func AgglomerateTraceCtx(ctx context.Context, n int, ps PairSim, opts Options, w
 		span.Event("cut",
 			trace.Int("merges", merges), trace.Int("pruned", pruned),
 			trace.Int("clusters", int64(len(out))),
-			trace.Float("min_sim", opts.MinSim),
+			trace.Float("min_sim", minSim),
 			trace.Float("last_merge_sim", lastMergeSim),
 			trace.Float("best_rejected_sim", bestRejected),
 			trace.Float("gap", gap))
 	}
+	if fromPool {
+		scratchPool.Put(s)
+	}
 	return out, mergeLog, nil
 }
 
-// pairKey packs a cluster pair into one word, low id in the high half.
-// Cluster ids stay below 2n (n originals plus at most n-1 merges), so the
-// halves never truncate for any clusterable input. An 8-byte key hashes in
-// one word operation where the previous [2]int key paid memhash128.
-func pairKey(a, b int) uint64 {
-	if a > b {
-		a, b = b, a
+// partition materialises the final clustering from the parent links:
+// clusters appear in order of their smallest member with members ascending
+// (references are visited in index order, so both properties fall out of
+// first-seen grouping). All member slices are carved from one backing
+// array — the whole output is two allocations.
+func (s *Scratch) partition(n, nClusters int) [][]int {
+	backing := make([]int, n)
+	out := make([][]int, 0, nClusters)
+	off := 0
+	for r := 0; r < n; r++ {
+		// Find the root, with path compression for the next lookups.
+		root := int32(r)
+		for s.parent[root] >= 0 {
+			root = s.parent[root]
+		}
+		for c := int32(r); c != root; {
+			nxt := s.parent[c]
+			s.parent[c] = root
+			c = nxt
+		}
+		idx := s.outIdx[root]
+		if idx == 0 {
+			sz := int(s.size[root])
+			out = append(out, backing[off:off:off+sz])
+			off += sz
+			idx = int32(len(out))
+			s.outIdx[root] = idx
+		}
+		out[idx-1] = append(out[idx-1], r)
 	}
-	return uint64(uint32(a))<<32 | uint64(uint32(b))
-}
-
-// takeStats removes and returns the stats between clusters x and y, oriented
-// so walkAB flows from min(x,y) to max(x,y).
-func takeStats(stats map[uint64]pairStats, x, y int) pairStats {
-	key := pairKey(x, y)
-	st := stats[key]
-	delete(stats, key)
-	return st
+	return out
 }
 
 // mergeOriented combines the (o, a) and (o, b) stats into the stats between

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"distinct/internal/fault"
+	"distinct/internal/obs"
+)
+
+// The flat engine must reproduce the map-based reference bit for bit:
+// same partitions, same merge traces (member order included), same merge
+// similarities down to the float bits.
+
+var allMeasures = []Measure{Combined, ResemOnly, WalkOnly, CombinedArithmetic, SingleLink, CompleteLink}
+
+func requireSamePartition(t *testing.T, want, got [][]int, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: partition mismatch\nwant %v\ngot  %v", label, want, got)
+	}
+}
+
+func requireSameTrace(t *testing.T, want, got []Merge, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: trace length %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i].A, got[i].A) || !reflect.DeepEqual(want[i].B, got[i].B) {
+			t.Fatalf("%s: merge %d members\nwant A=%v B=%v\ngot  A=%v B=%v",
+				label, i, want[i].A, want[i].B, got[i].A, got[i].B)
+		}
+		if math.Float64bits(want[i].Sim) != math.Float64bits(got[i].Sim) {
+			t.Fatalf("%s: merge %d sim %v vs %v", label, i, want[i].Sim, got[i].Sim)
+		}
+	}
+}
+
+func TestFlatMatchesMapReference(t *testing.T) {
+	minSims := []float64{0, 0.0005, 0.01, 0.1, 0.3}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		m := randomMatrix(rng, n)
+		for _, meas := range allMeasures {
+			for _, ms := range minSims {
+				opts := Options{Measure: meas, MinSim: ms}
+				wantOut, wantTrace := AgglomerateMapTrace(n, m, opts, true)
+				gotOut, gotTrace := AgglomerateTrace(n, m, opts, true)
+				label := opts.Measure.String()
+				requireSamePartition(t, wantOut, gotOut, label)
+				requireSameTrace(t, wantTrace, gotTrace, label)
+			}
+		}
+	}
+}
+
+// Single/complete link propagate min/max resemblance through merges whose
+// walk stats are asymmetric; a directed check that the flat row layout
+// orients takeStats/mergeOriented the same way the map did, on matrices
+// built to make every orientation mistake visible (W[i][j] != W[j][i]
+// everywhere, R values all distinct).
+func TestLinkMeasuresOrientationFlat(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		m := NewMatrix(n)
+		v := 0.001
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.R[i][j], m.R[j][i] = v, v
+				v += 0.001 // all-distinct resemblances
+				m.W[i][j] = rng.Float64()
+				m.W[j][i] = m.W[i][j] * (0.1 + rng.Float64()) // asymmetric
+			}
+		}
+		for _, meas := range []Measure{SingleLink, CompleteLink, Combined, WalkOnly} {
+			opts := Options{Measure: meas, MinSim: 0.002}
+			wantOut, wantTrace := AgglomerateMapTrace(n, m, opts, true)
+			gotOut, gotTrace := AgglomerateTrace(n, m, opts, true)
+			requireSamePartition(t, wantOut, gotOut, meas.String())
+			requireSameTrace(t, wantTrace, gotTrace, meas.String())
+		}
+	}
+}
+
+// An explicitly reused Scratch must not bleed state between runs of
+// different sizes, measures, or matrices.
+func TestScratchReuseBitIdentical(t *testing.T) {
+	scr := NewScratch()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		m := randomMatrix(rng, n)
+		meas := allMeasures[trial%len(allMeasures)]
+		opts := Options{Measure: meas, MinSim: 0.01, Scratch: scr}
+		got := Agglomerate(n, m, opts)
+		opts.Scratch = nil
+		want := Agglomerate(n, m, opts)
+		requireSamePartition(t, want, got, "scratch reuse")
+	}
+}
+
+// A full MinSim-0 run over a block big enough to cross compactMinHeap
+// exercises the stale-entry compaction path; the merge order must not move.
+func TestHeapCompactionPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 64 // peak heap ~ n²/2 = 2016 > compactMinHeap
+	m := randomMatrix(rng, n)
+	for _, meas := range []Measure{Combined, SingleLink} {
+		opts := Options{Measure: meas, MinSim: 0}
+		wantOut, wantTrace := AgglomerateMapTrace(n, m, opts, true)
+		gotOut, gotTrace := AgglomerateTrace(n, m, opts, true)
+		requireSamePartition(t, wantOut, gotOut, meas.String())
+		requireSameTrace(t, wantTrace, gotTrace, meas.String())
+		if len(gotTrace) != n-1 {
+			t.Fatalf("MinSim 0 should merge fully: %d merges for n=%d", len(gotTrace), n)
+		}
+	}
+}
+
+func TestHeapStalePopsCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	rng := rand.New(rand.NewSource(3))
+	n := 32
+	m := randomMatrix(rng, n)
+	Agglomerate(n, m, Options{Measure: Combined, MinSim: 0, Obs: reg})
+	if reg.Counter("cluster.heap_stale_pops").Value() == 0 {
+		t.Fatal("a full random-matrix agglomeration should pop stale entries")
+	}
+	if got, want := reg.Counter("cluster.merges").Value(), int64(n-1); got != want {
+		t.Fatalf("cluster.merges = %d, want %d", got, want)
+	}
+	if got := reg.Counter("cluster.runs").Value(); got != 1 {
+		t.Fatalf("cluster.runs = %d, want 1", got)
+	}
+}
+
+// Cancellation observed inside the merge loop must abort with the context
+// error, and the same Scratch must then produce bit-identical clean runs —
+// i.e. an aborted run leaves no state behind that reset doesn't clear.
+func TestMergeLoopCancelScratchHygiene(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 24
+	m := randomMatrix(rng, n)
+	opts := Options{Measure: Combined, MinSim: 0}
+
+	want := Agglomerate(n, m, opts)
+
+	scr := NewScratch()
+	ctx, cancel := context.WithCancel(context.Background())
+	freg := fault.NewRegistry(1)
+	freg.Set("cluster.merge", fault.Rule{OnHit: 5, Hook: func() { cancel() }})
+	optsScr := opts
+	optsScr.Scratch = scr
+	out, err := AgglomerateCtx(fault.With(ctx, freg), n, m, optsScr)
+	if err == nil || out != nil {
+		t.Fatalf("cancelled run returned out=%v err=%v", out, err)
+	}
+	if ctx.Err() == nil || err != ctx.Err() {
+		t.Fatalf("expected the context error, got %v", err)
+	}
+
+	// The dirtied scratch must reset cleanly.
+	got := Agglomerate(n, m, optsScr)
+	requireSamePartition(t, want, got, "post-cancel reuse")
+}
+
+// An error inside the merge loop must not return the pooled scratch: a
+// subsequent pooled run (which may or may not get a fresh scratch) still
+// has to be bit-identical.
+func TestMergeLoopErrorPooledRunsStayClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 20
+	m := randomMatrix(rng, n)
+	opts := Options{Measure: Combined, MinSim: 0}
+	want := Agglomerate(n, m, opts)
+
+	freg := fault.NewRegistry(1)
+	freg.Set("cluster.merge", fault.Rule{OnHit: 3, Err: fault.ErrInjected})
+	if _, err := AgglomerateCtx(fault.With(context.Background(), freg), n, m, opts); err == nil {
+		t.Fatal("expected the injected error")
+	}
+	for i := 0; i < 4; i++ {
+		got := Agglomerate(n, m, opts)
+		requireSamePartition(t, want, got, "post-error pooled run")
+	}
+}
+
+func TestPartitionSlicesAreGrowSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 18
+	m := randomMatrix(rng, n)
+	out := Agglomerate(n, m, Options{Measure: Combined, MinSim: 0.05})
+	if len(out) < 2 {
+		t.Skip("need at least two clusters for the aliasing check")
+	}
+	snapshot := make([][]int, len(out))
+	for i, cl := range out {
+		snapshot[i] = append([]int(nil), cl...)
+	}
+	// Appending to one cluster must not clobber its neighbours (the carved
+	// slices are at full capacity, so append must copy).
+	_ = append(out[0], -1)
+	for i := range out {
+		if !reflect.DeepEqual(snapshot[i], out[i]) {
+			t.Fatalf("cluster %d changed after append: %v -> %v", i, snapshot[i], out[i])
+		}
+	}
+}

@@ -34,16 +34,26 @@ const relFloor = 1e-5
 // exists (all merges within minRatio of each other), in which case the
 // caller should also merge everything.
 func CutAtGap(trace []Merge, minRatio float64) (float64, bool) {
+	sims := make([]float64, len(trace))
+	for i, m := range trace {
+		sims[i] = m.Sim
+	}
+	return cutAtGapSims(sims, minRatio)
+}
+
+// cutAtGapSims is CutAtGap over a bare merge-similarity profile; the merge
+// traces and dendrograms both reduce to it.
+func cutAtGapSims(sims []float64, minRatio float64) (float64, bool) {
 	if minRatio <= 1 {
 		minRatio = 10
 	}
-	if len(trace) < 2 {
+	if len(sims) < 2 {
 		return 0, false
 	}
 	maxSim := gapFloor
-	for _, m := range trace {
-		if m.Sim > maxSim {
-			maxSim = m.Sim
+	for _, s := range sims {
+		if s > maxSim {
+			maxSim = s
 		}
 	}
 	floor := maxSim * relFloor
@@ -58,9 +68,9 @@ func CutAtGap(trace []Merge, minRatio float64) (float64, bool) {
 	}
 	bestRatio := 0.0
 	cut := 0.0
-	for i := 0; i+1 < len(trace); i++ {
-		hi := clamp(trace[i].Sim)
-		lo := clamp(trace[i+1].Sim)
+	for i := 0; i+1 < len(sims); i++ {
+		hi := clamp(sims[i])
+		lo := clamp(sims[i+1])
 		// Merge similarities are not strictly monotone; only downward
 		// steps are candidate boundaries.
 		if lo > hi {
@@ -95,14 +105,20 @@ func geomMean(a, b float64) float64 {
 // average-link similarity shrinks smoothly) keep the globally tuned one —
 // gap detection alone misjudges exactly those, which is why the paper uses
 // a tuned global min-sim in the first place.
+//
+// The profile and the final partition come from one dendrogram-recording
+// agglomeration: the gap cut is derived from the recorded similarities and
+// the partition by replaying the matching merge prefix, falling back to a
+// direct run only when the cut threshold is not prefix-consistent — instead
+// of the two full runs this used to take.
 func AgglomerateAuto(n int, ps PairSim, measure Measure, minRatio, fallbackMinSim float64) [][]int {
 	if n <= 0 {
 		return nil
 	}
-	_, trace := AgglomerateTrace(n, ps, Options{Measure: measure, MinSim: 0}, true)
-	cut, ok := CutAtGap(trace, minRatio)
+	d := AgglomerateDendrogram(n, ps, Options{Measure: measure})
+	cut, ok := d.CutAtGap(minRatio)
 	if !ok {
 		cut = fallbackMinSim
 	}
-	return Agglomerate(n, ps, Options{Measure: measure, MinSim: cut})
+	return CutOrAgglomerate(d, ps, Options{Measure: measure, MinSim: cut})
 }

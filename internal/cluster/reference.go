@@ -1,0 +1,116 @@
+package cluster
+
+import "sort"
+
+// This file preserves the pre-flat, map-based agglomeration as the
+// bit-exactness reference (the same convention PR 5 kept the DFS
+// propagation and PR 6 kept PairKernel): property tests and the fuzz
+// target assert that the flat engine reproduces its partitions and merge
+// traces bit for bit. It is unoptimised on purpose — no scratch, no
+// counters, no spans — so its correctness is easy to audit against the
+// paper's Section 4.2.
+
+type refClusterState struct {
+	members []int
+	alive   bool
+}
+
+// AgglomerateMapTrace clusters n references exactly like AgglomerateTrace
+// but with the original map-keyed pair-stats storage and eagerly
+// materialised member lists. Reference implementation only: quadratic
+// allocation behaviour, no observability.
+func AgglomerateMapTrace(n int, ps PairSim, opts Options, withTrace bool) ([][]int, []Merge) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var mergeLog []Merge
+	clusters := make([]refClusterState, n, 2*n)
+	for i := range clusters {
+		clusters[i] = refClusterState{members: []int{i}, alive: true}
+	}
+	stats := make(map[uint64]pairStats, n*(n-1)/2)
+	h := make(candidateHeap, 0, n*(n-1)/2)
+	bestRejected := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r := ps.Resem(i, j)
+			st := pairStats{
+				sumResem: r, minResem: r, maxResem: r,
+				walkAB: ps.Walk(i, j), walkBA: ps.Walk(j, i),
+			}
+			stats[pairKey(i, j)] = st
+			if s := similarity(st, 1, 1, opts.Measure); s >= opts.MinSim {
+				h = append(h, candidate{sim: s, a: int32(i), b: int32(j)})
+			} else if s > bestRejected {
+				bestRejected = s
+			}
+		}
+	}
+	h.init()
+
+	for len(h) > 0 {
+		c := h.pop()
+		if !clusters[c.a].alive || !clusters[c.b].alive {
+			continue // stale entry for a merged-away cluster
+		}
+		clusters[c.a].alive = false
+		clusters[c.b].alive = false
+		nid := len(clusters)
+		merged := append(append([]int(nil), clusters[c.a].members...), clusters[c.b].members...)
+		clusters = append(clusters, refClusterState{members: merged, alive: true})
+		if withTrace {
+			mergeLog = append(mergeLog, Merge{
+				A:   append([]int(nil), clusters[c.a].members...),
+				B:   append([]int(nil), clusters[c.b].members...),
+				Sim: c.sim,
+			})
+		}
+
+		for oid := range clusters[:nid] {
+			if !clusters[oid].alive {
+				continue
+			}
+			sa := takeStats(stats, oid, int(c.a))
+			sb := takeStats(stats, oid, int(c.b))
+			ns := mergeOriented(sa, sb, oid, int(c.a), int(c.b))
+			stats[pairKey(oid, nid)] = ns
+			s := similarity(ns, len(clusters[oid].members), len(merged), opts.Measure)
+			if s >= opts.MinSim {
+				h.push(candidate{sim: s, a: int32(oid), b: int32(nid)})
+			} else if s > bestRejected {
+				bestRejected = s
+			}
+		}
+		delete(stats, pairKey(int(c.a), int(c.b)))
+	}
+
+	var out [][]int
+	for _, c := range clusters {
+		if c.alive {
+			m := append([]int(nil), c.members...)
+			sort.Ints(m)
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out, mergeLog
+}
+
+// pairKey packs a cluster pair into one word, low id in the high half.
+// Cluster ids stay below 2n (n originals plus at most n-1 merges), so the
+// halves never truncate for any clusterable input.
+func pairKey(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// takeStats removes and returns the stats between clusters x and y, oriented
+// so walkAB flows from min(x,y) to max(x,y).
+func takeStats(stats map[uint64]pairStats, x, y int) pairStats {
+	key := pairKey(x, y)
+	st := stats[key]
+	delete(stats, key)
+	return st
+}

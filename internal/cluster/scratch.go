@@ -1,0 +1,119 @@
+package cluster
+
+import "sync"
+
+// Scratch holds every buffer the flat agglomeration engine needs: the
+// all-pairs stats triangle, the per-merged-cluster stat rows, the candidate
+// heap backing, the alive bitmap, and the id-indexed bookkeeping arrays
+// (sizes, union-find parent links, merge children, heap refcounts, output
+// cursors). A warm Scratch makes the merge loop allocation-free: only the
+// returned partition (two slices) is allocated per run.
+//
+// A Scratch is reset at the start of every run, so reuse after an aborted
+// run is safe. It is not safe for concurrent use; Agglomerate draws one
+// from an internal sync.Pool when Options.Scratch is nil, and returns it
+// only when the run succeeds — an errored run drops its scratch rather than
+// risk handing a torn buffer to the next caller.
+type Scratch struct {
+	tri    []pairStats // stats triangle over original pairs i<j<n
+	rows   []pairStats // arena of stat rows, one per merged cluster
+	rowOff []int       // rowOff[c-n]: offset of merged cluster c's row
+	heap   candidateHeap
+	alive  []uint64 // bitmap over cluster ids
+	size   []int32  // cluster sizes by id
+	parent []int32  // id -> merged-into id, -1 while a root
+	left   []int32  // merged id -> lower-id child (concat order for traces)
+	right  []int32  // merged id -> higher-id child
+	nref   []int32  // id -> heap entries referencing it (stale accounting)
+	outIdx []int32  // root id -> output cluster index + 1
+	stack  []int32  // DFS stack for trace member reconstruction
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use and are
+// retained across runs. Useful for explicit reuse across a sweep (see
+// Engine.TuneMinSim); callers that don't care should leave Options.Scratch
+// nil and let the pool provide one.
+func NewScratch() *Scratch { return new(Scratch) }
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// grow returns s with length n, reusing the backing array when it fits.
+// Contents are unspecified; callers initialise what they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// reset sizes every buffer for a run over n references (cluster ids
+// 0..2n-2) and initialises the per-original state: all originals alive,
+// size 1, roots, no heap references. Merged-cluster slots are written at
+// merge time before they are read, so they need no up-front clearing —
+// except outIdx, whose zero value means "no output cluster yet".
+func (s *Scratch) reset(n int) {
+	maxID := 2*n - 1
+	s.tri = grow(s.tri, n*(n-1)/2)
+	s.rows = s.rows[:0]
+	s.rowOff = grow(s.rowOff, n-1)
+	s.heap = s.heap[:0]
+	s.alive = grow(s.alive, (maxID+63)/64)
+	s.size = grow(s.size, maxID)
+	s.parent = grow(s.parent, maxID)
+	s.left = grow(s.left, n-1)
+	s.right = grow(s.right, n-1)
+	s.nref = grow(s.nref, maxID)
+	s.outIdx = grow(s.outIdx, maxID)
+	for i := range s.alive {
+		s.alive[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		s.alive[i>>6] |= 1 << (uint(i) & 63)
+		s.size[i] = 1
+		s.parent[i] = -1
+		s.nref[i] = 0
+	}
+	for i := range s.outIdx {
+		s.outIdx[i] = 0
+	}
+}
+
+func (s *Scratch) isAlive(id int32) bool { return s.alive[id>>6]&(1<<(uint(id)&63)) != 0 }
+func (s *Scratch) kill(id int32)         { s.alive[id>>6] &^= 1 << (uint(id) & 63) }
+func (s *Scratch) setAlive(id int32)     { s.alive[id>>6] |= 1 << (uint(id) & 63) }
+
+// statAt returns the aggregated stats between clusters x and y, oriented so
+// walkAB flows from min(x,y) to max(x,y). Original pairs live in the
+// triangle; pairs involving a merged cluster live in that cluster's row
+// (the higher id always carries the row, because ids are assigned in merge
+// order and the row spans every id below it).
+func (s *Scratch) statAt(n int, x, y int32) pairStats {
+	if x > y {
+		x, y = y, x
+	}
+	if int(y) < n {
+		i, j := int(x), int(y)
+		return s.tri[i*n-i*(i+1)/2+(j-i-1)]
+	}
+	return s.rows[s.rowOff[int(y)-n]+int(x)]
+}
+
+// membersOf reconstructs the member list of a cluster in historical concat
+// order (lower-id child's members first, recursively) — the order the
+// map-based implementation materialised eagerly. Used only on the traced
+// path; the stack is scratch, the returned slice is fresh.
+func (s *Scratch) membersOf(n int, id int32) []int {
+	out := make([]int, 0, s.size[id])
+	st := append(s.stack[:0], id)
+	for len(st) > 0 {
+		c := st[len(st)-1]
+		st = st[:len(st)-1]
+		if int(c) < n {
+			out = append(out, int(c))
+			continue
+		}
+		st = append(st, s.right[int(c)-n], s.left[int(c)-n])
+	}
+	s.stack = st[:0]
+	return out
+}

@@ -276,6 +276,15 @@ type TuneResult struct {
 // the thresholds to sweep (nil means the package default used by the
 // experiments harness). Train's rarity options and exclusions apply, so
 // evaluation names never leak into tuning.
+//
+// Each case is agglomerated once: the merge sequence is recorded as a
+// dendrogram (cluster.AgglomerateDendrogram, one pooled Scratch reused
+// across the sweep) and every grid point's partition is derived by a
+// prefix cut, falling back to a direct run only when the cut is not
+// prefix-consistent (cluster.dendrogram_fallbacks counts those). Scores
+// come from eval.FromCounts over arithmetically derived pair counts, so
+// the result is bit-identical to evaluating each grid point's clustering
+// directly.
 func (e *Engine) TuneMinSim(grid []float64, maxCases int, seed int64) (*TuneResult, error) {
 	if len(grid) == 0 {
 		grid = []float64{0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
@@ -304,20 +313,46 @@ func (e *Engine) TuneMinSim(grid []float64, maxCases int, seed int64) (*TuneResu
 	}
 
 	sums := make([]float64, len(grid))
+	scr := cluster.NewScratch()
 	for c := 0; c < nCases; c++ {
 		a, b := usable[2*c], usable[2*c+1]
 		ra := e.RefsForName(a)
 		rb := e.RefsForName(b)
 		refs := append(append([]reldb.TupleID(nil), ra...), rb...)
-		gold := eval.Clustering{ra, rb}
 		m := e.Similarities(refs)
+		// One agglomeration per case: record the dendrogram, then derive
+		// each grid point's partition by a prefix cut (direct rerun only on
+		// a prefix-consistency violation, counted by the cluster package).
+		d := cluster.AgglomerateDendrogram(len(refs), m, cluster.Options{
+			Measure: e.cfg.Measure, Obs: e.obs, Scratch: scr,
+		})
+		na, nb := len(ra), len(rb)
+		goldPairs := na*(na-1)/2 + nb*(nb-1)/2
+		totalPairs := len(refs) * (len(refs) - 1) / 2
 		for gi, ms := range grid {
-			pred := ClusterMatrix(refs, m, e.cfg.Measure, ms)
-			metrics, err := eval.Evaluate(eval.Clustering(pred), gold)
-			if err != nil {
-				return nil, err
+			pred := cluster.CutOrAgglomerate(d, m, cluster.Options{
+				Measure: e.cfg.Measure, MinSim: ms, Obs: e.obs, Scratch: scr,
+			})
+			// The gold clusters are the index ranges [0,na) and [na,n), so
+			// the pairwise confusion counts follow arithmetically from each
+			// predicted cluster's split across them — no membership maps,
+			// no pair loop. eval.FromCounts keeps the score bit-identical
+			// to eval.Evaluate over the materialised clusterings.
+			tp, predPairs := 0, 0
+			for _, cl := range pred {
+				cntA := 0
+				for _, x := range cl {
+					if x < na {
+						cntA++
+					}
+				}
+				cntB := len(cl) - cntA
+				tp += cntA*(cntA-1)/2 + cntB*(cntB-1)/2
+				predPairs += len(cl) * (len(cl) - 1) / 2
 			}
-			sums[gi] += metrics.F1
+			met := eval.FromCounts(tp, predPairs-tp, goldPairs-tp,
+				totalPairs-predPairs-goldPairs+tp)
+			sums[gi] += met.F1
 		}
 	}
 
@@ -384,12 +419,12 @@ func (e *Engine) MergeProfile(refs []reldb.TupleID) []MergeStep {
 		return nil
 	}
 	m := e.Similarities(refs)
-	_, trace := cluster.AgglomerateTrace(len(refs), m, cluster.Options{
-		Measure: e.cfg.Measure, MinSim: 0,
-	}, true)
-	steps := make([]MergeStep, len(trace))
-	for i, mg := range trace {
-		steps[i] = MergeStep{Sim: mg.Sim, SizeA: len(mg.A), SizeB: len(mg.B)}
+	d := cluster.AgglomerateDendrogram(len(refs), m, cluster.Options{
+		Measure: e.cfg.Measure,
+	})
+	steps := make([]MergeStep, len(d.Merges))
+	for i, mg := range d.Merges {
+		steps[i] = MergeStep{Sim: mg.Sim, SizeA: int(mg.SizeA), SizeB: int(mg.SizeB)}
 	}
 	return steps
 }

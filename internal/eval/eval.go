@@ -104,6 +104,16 @@ func Evaluate(pred, gold Clustering) (Metrics, error) {
 			}
 		}
 	}
+	return FromCounts(m.TP, m.FP, m.FN, m.TN), nil
+}
+
+// FromCounts derives the pairwise metrics from confusion counts, applying
+// the same vacuous-denominator conventions as Evaluate. Fast paths that
+// count pairs arithmetically (Engine.TuneMinSim scores synthetic two-name
+// cases straight off the index partition) share it with Evaluate, so their
+// scores are bit-identical to the pair-loop's.
+func FromCounts(tp, fp, fn, tn int) Metrics {
+	m := Metrics{TP: tp, FP: fp, FN: fn, TN: tn}
 	if m.TP+m.FP > 0 {
 		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
 	} else {
@@ -126,7 +136,7 @@ func Evaluate(pred, gold Clustering) (Metrics, error) {
 	} else {
 		m.Accuracy = 1
 	}
-	return m, nil
+	return m
 }
 
 // Average returns the unweighted mean of each metric, as the paper's

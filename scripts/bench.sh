@@ -26,7 +26,7 @@ if [[ -z "$out" ]]; then
 fi
 count="${BENCH_COUNT:-1}"
 
-benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering|BenchmarkPropagate|BenchmarkPlanCompile|BenchmarkServeThroughput)$'
+benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering|BenchmarkClusteringLarge|BenchmarkTuneMinSim|BenchmarkPropagate|BenchmarkPlanCompile|BenchmarkServeThroughput)$'
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

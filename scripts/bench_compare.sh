@@ -8,19 +8,24 @@
 # deterministic but GC-visible sizes wobble with Go releases).
 #
 # Usage:  scripts/bench_compare.sh [BASELINE.json] [OUT.json]
-#           BASELINE  default BENCH_5.json (the serving-layer baseline)
-#           OUT       default BENCH_6.json
+#           BASELINE  default BENCH_6.json (the flat-agglomeration baseline)
+#           OUT       default BENCH_7.json
 #   env:  BENCH_COUNT          runs per benchmark for the median (default 3)
 #         BENCH_THRESHOLD      allowed ns/op regression in percent (default 10)
 #         BENCH_MEM_THRESHOLD  allowed B/op + allocs/op regression in percent
 #                              (default 25)
+#         BENCH_CLUSTER_ALLOC_MAX  absolute allocs/op ceiling for the warm
+#                              BenchmarkClustering path (default 16) — the
+#                              flat-state merge loop promises an alloc-free
+#                              steady state, so this gate is absolute, not
+#                              relative to the baseline
 #         BENCH_PPROF          directory to drop cpu.pprof / mem.pprof into
 #                              (default off; CI uploads them as artifacts)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_5.json}"
-out="${2:-BENCH_6.json}"
+baseline="${1:-BENCH_6.json}"
+out="${2:-BENCH_7.json}"
 count="${BENCH_COUNT:-3}"
 threshold="${BENCH_THRESHOLD:-10}"
 mem_threshold="${BENCH_MEM_THRESHOLD:-25}"
@@ -30,7 +35,7 @@ if [[ ! -e "$baseline" ]]; then
   exit 1
 fi
 
-benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering|BenchmarkPropagate|BenchmarkPlanCompile|BenchmarkServeThroughput)$'
+benchre='^(BenchmarkSetResemblance|BenchmarkRandomWalk|BenchmarkSimilarityMatrix|BenchmarkDisambiguateAll|BenchmarkClustering|BenchmarkClusteringLarge|BenchmarkTuneMinSim|BenchmarkPropagate|BenchmarkPlanCompile|BenchmarkServeThroughput)$'
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -130,6 +135,25 @@ echo "-- bytes/op (threshold ${mem_threshold}%)"
 compare_axis bytes_per_op "B/op" "$mem_threshold"
 echo "-- allocs/op (threshold ${mem_threshold}%)"
 compare_axis allocs_per_op "allocs/op" "$mem_threshold"
+
+# Absolute gate: the pooled flat-state engine must keep the warm clustering
+# path at a handful of allocations per run (the output partition plus pool
+# bookkeeping), independent of what the baseline recorded.
+alloc_max="${BENCH_CLUSTER_ALLOC_MAX:-16}"
+cluster_allocs=$(awk '
+  /"name": "BenchmarkClustering",/ {
+    if (match($0, /"allocs_per_op": [0-9]+/))
+      print substr($0, RSTART + 17, RLENGTH - 17)
+  }' "$out")
+if [[ -z "$cluster_allocs" ]]; then
+  echo "bench_compare: BenchmarkClustering allocs/op missing from $out" >&2
+  fail=1
+elif [[ "$cluster_allocs" -gt "$alloc_max" ]]; then
+  echo "bench_compare: BenchmarkClustering allocs/op ${cluster_allocs} exceeds absolute gate ${alloc_max}" >&2
+  fail=1
+else
+  echo "-- BenchmarkClustering allocs/op ${cluster_allocs} <= ${alloc_max} (absolute gate)"
+fi
 
 if [[ "$fail" -ne 0 ]]; then
   echo "bench_compare: regression beyond threshold vs $baseline" >&2
